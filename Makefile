@@ -1,0 +1,31 @@
+# Convenience targets for the ABNDP reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench experiments figures clean
+
+all: vet test build
+
+build:
+	$(GO) build ./...
+
+vet:
+	gofmt -l . && $(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Micro-benchmarks + per-figure harness smoke benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (text tables to stdout).
+experiments:
+	$(GO) run ./cmd/abndpbench | tee docs/abndpbench_output.txt
+
+# Same, plus SVG figure files.
+figures:
+	$(GO) run ./cmd/abndpbench -svg docs/figures | tee docs/abndpbench_output.txt
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,58 @@
+// Benchmarks: one per paper table/figure (driving the same harness as
+// cmd/abndpbench, at reduced workload sizes so `go test -bench=.` stays
+// tractable — run `go run ./cmd/abndpbench` for the paper-scale numbers),
+// plus micro-benchmarks of the simulator's hot primitives.
+package abndp
+
+import (
+	"io"
+	"testing"
+
+	"abndp/internal/bench"
+)
+
+// benchExperiment runs one harness experiment per iteration at quick sizes.
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := bench.NewRunner(io.Discard)
+		r.SetQuick(true)
+		if err := r.Run(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTab01Config(b *testing.B)           { benchExperiment(b, "tab1") }
+func BenchmarkTab02Designs(b *testing.B)          { benchExperiment(b, "tab2") }
+func BenchmarkFig02Tradeoff(b *testing.B)         { benchExperiment(b, "fig2") }
+func BenchmarkFig06Speedup(b *testing.B)          { benchExperiment(b, "fig6") }
+func BenchmarkFig07Energy(b *testing.B)           { benchExperiment(b, "fig7") }
+func BenchmarkFig08Hops(b *testing.B)             { benchExperiment(b, "fig8") }
+func BenchmarkFig09LoadDist(b *testing.B)         { benchExperiment(b, "fig9") }
+func BenchmarkFig10Scalability(b *testing.B)      { benchExperiment(b, "fig10") }
+func BenchmarkFig11SkewedMapping(b *testing.B)    { benchExperiment(b, "fig11") }
+func BenchmarkFig12CampCount(b *testing.B)        { benchExperiment(b, "fig12") }
+func BenchmarkFig13CacheKind(b *testing.B)        { benchExperiment(b, "fig13") }
+func BenchmarkFig14Capacity(b *testing.B)         { benchExperiment(b, "fig14") }
+func BenchmarkFig15Associativity(b *testing.B)    { benchExperiment(b, "fig15") }
+func BenchmarkFig16Bypass(b *testing.B)           { benchExperiment(b, "fig16") }
+func BenchmarkFig17HybridWeight(b *testing.B)     { benchExperiment(b, "fig17") }
+func BenchmarkFig18ExchangeInterval(b *testing.B) { benchExperiment(b, "fig18") }
+
+// BenchmarkRunPageRank measures one end-to-end simulated run per design.
+func BenchmarkRunPageRank(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.MeshX, cfg.MeshY = 2, 2
+	cfg.UnitBytes = 16 << 20
+	p := Params{Scale: 10, Degree: 8, Iters: 2, Seed: 1}
+	for _, d := range NDPDesigns {
+		b.Run(d.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run("pr", d, cfg, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

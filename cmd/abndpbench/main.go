@@ -1,0 +1,52 @@
+// Command abndpbench regenerates the paper's evaluation: every table and
+// figure of §7, printed as text tables of the same normalized metrics.
+//
+// Usage:
+//
+//	abndpbench                 # the full suite (Tables 1-2, Figures 2-18)
+//	abndpbench -exp fig6,fig8  # selected experiments
+//	abndpbench -quick          # shrunken workloads (smoke test)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"abndp/internal/bench"
+)
+
+func main() {
+	var (
+		exps  = flag.String("exp", "all", "comma-separated experiments (tab1 tab2 fig2 fig6..fig18, ablrepl ablprobe ablhint abltopo) or 'all'")
+		quick = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		svg   = flag.String("svg", "", "also render the figures as SVG files into this directory")
+	)
+	flag.Parse()
+
+	r := bench.NewRunner(os.Stdout)
+	r.SetQuick(*quick)
+
+	start := time.Now()
+	if *exps == "all" {
+		r.RunAll()
+	} else {
+		for _, e := range strings.Split(*exps, ",") {
+			if err := r.Run(strings.TrimSpace(e)); err != nil {
+				fmt.Fprintln(os.Stderr, "abndpbench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if *svg != "" {
+		files, err := r.RenderSVGs(*svg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "abndpbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d SVG figures to %s\n", len(files), *svg)
+	}
+	fmt.Printf("\ncompleted in %.1fs\n", time.Since(start).Seconds())
+}

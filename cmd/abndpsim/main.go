@@ -1,0 +1,152 @@
+// Command abndpsim runs one workload on one simulated NDP design and
+// prints its performance, traffic, and energy summary.
+//
+// Usage:
+//
+//	abndpsim -app pr -design O
+//	abndpsim -app spmv -design Sl -scale 13 -degree 16
+//	abndpsim -app pr -design O -mesh 8 -campcount 7 -ratio 32
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"abndp"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "pr", "workload: pr bfs sssp astar gcn kmeans knn spmv")
+		design   = flag.String("design", "O", "design: H B Sm Sl Sh C O")
+		scale    = flag.Int("scale", 0, "log2 element count (0 = workload default)")
+		degree   = flag.Int("degree", 0, "average degree / nnz per row (0 = default)")
+		iters    = flag.Int("iters", 0, "iterations (0 = default)")
+		seed     = flag.Int64("seed", 42, "input generator seed")
+		mesh     = flag.Int("mesh", 4, "stack mesh side (2, 4, or 8)")
+		ratio    = flag.Int("ratio", 64, "Traveller Cache size = 1/ratio of local DRAM")
+		camps    = flag.Int("campcount", 3, "camp locations per line (C)")
+		ways     = flag.Int("ways", 4, "Traveller Cache associativity")
+		bypass   = flag.Float64("bypass", 0.4, "cache insertion bypass probability")
+		alpha    = flag.Float64("alpha", -1, "hybrid weight B = alpha*Dinter (-1 = d/2)")
+		exchange = flag.Int64("exchange", 0, "workload exchange interval, cycles (0 = default)")
+		identity = flag.Bool("identical-mapping", false, "disable the skewed camp mapping")
+		lru      = flag.Bool("lru", false, "use LRU instead of random cache replacement")
+		probeAll = flag.Bool("probe-all", false, "probe every camp on a miss instead of nearest only")
+		torus    = flag.Bool("torus", false, "use a torus instead of a mesh inter-stack network")
+		perfect  = flag.Bool("perfect-hints", false, "supply exact workload hints to the scheduler")
+		trace    = flag.String("trace", "", "write a JSONL per-task completion trace to this file")
+		graphIn  = flag.String("graph", "", "load the input graph from a file (SNAP edge list or .mtx)")
+	)
+	flag.Parse()
+
+	cfg := abndp.DefaultConfig()
+	cfg.MeshX, cfg.MeshY = *mesh, *mesh
+	cfg.CacheRatio = *ratio
+	cfg.CampCount = *camps
+	cfg.CacheWays = *ways
+	cfg.BypassProb = *bypass
+	cfg.HybridAlpha = *alpha
+	if *exchange > 0 {
+		cfg.ExchangeInterval = *exchange
+	}
+	cfg.SkewedMapping = !*identity
+	if *lru {
+		cfg.Replacement = abndp.ReplaceLRU
+	}
+	cfg.ProbeAllCamps = *probeAll
+	cfg.Torus = *torus
+
+	p := abndp.Params{Scale: *scale, Degree: *degree, Iters: *iters, Seed: *seed,
+		PerfectHints: *perfect, GraphPath: *graphIn}
+
+	d, err := abndp.ParseDesign(*design)
+	if err != nil {
+		fatal(err)
+	}
+
+	if d == abndp.DesignH {
+		r, err := abndp.RunHost(*appName, cfg, p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("app=%s design=H time=%.3f ms memory_bound=%v traffic=%.2f GB\n",
+			*appName, r.Seconds*1e3, r.MemoryBound, r.TrafficGB)
+		return
+	}
+
+	app, err := abndp.NewApp(*appName, p)
+	if err != nil {
+		fatal(err)
+	}
+	var tracer func(abndp.TaskTrace)
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		tracer = func(t abndp.TaskTrace) {
+			if err := enc.Encode(t); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	res, err := abndp.RunAppTraced(app, d, cfg, tracer)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("app=%s design=%s\n", res.App, res.Design)
+	fmt.Printf("  cycles        %d (%.3f ms)\n", res.Makespan, res.Seconds*1e3)
+	fmt.Printf("  tasks         %d over %d timestamps\n", res.Tasks, res.Steps)
+	fmt.Printf("  inter hops    %d\n", res.InterHops)
+	fmt.Printf("  imbalance     %.2fx (max/mean unit cycles)\n", res.Stats.ImbalanceRatio())
+	if hr := res.Stats.CacheHitRate(); hr > 0 {
+		fmt.Printf("  cache hits    %.1f%%\n", hr*100)
+	}
+	var reads, writes, queue, maxQueue int64
+	var l1h, l1m, pfh int64
+	for i := range res.Stats.Units {
+		u := &res.Stats.Units[i]
+		reads += u.DRAMReads
+		writes += u.DRAMWrites
+		queue += u.DRAMQueueCycles
+		if u.DRAMQueueCycles > maxQueue {
+			maxQueue = u.DRAMQueueCycles
+		}
+		l1h += u.L1Hits
+		l1m += u.L1Misses
+		pfh += u.PFHits
+	}
+	fmt.Printf("  dram          %d reads, %d writes, queue total %d cycles (max unit %d)\n",
+		reads, writes, queue, maxQueue)
+	type hot struct{ u, acc, q int64 }
+	var hots []hot
+	for i := range res.Stats.Units {
+		u := &res.Stats.Units[i]
+		hots = append(hots, hot{int64(i), u.DRAMReads + u.DRAMWrites, u.DRAMQueueCycles})
+	}
+	sort.Slice(hots, func(i, j int) bool { return hots[i].q > hots[j].q })
+	for _, h := range hots[:3] {
+		fmt.Printf("  hot dram unit %d: %d accesses, %d queue cycles\n", h.u, h.acc, h.q)
+	}
+	fmt.Printf("  l1            %.1f%% hit; pf reuse %d\n",
+		100*float64(l1h)/float64(l1h+l1m+1), pfh)
+	var stall int64
+	for i := range res.Stats.Units {
+		stall += res.Stats.Units[i].StallCycles
+	}
+	fmt.Printf("  stalls        %d total (%.0f per task)\n", stall, float64(stall)/float64(res.Tasks))
+	e := res.Energy
+	fmt.Printf("  energy        %.1f uJ (core+SRAM %.1f, DRAM %.1f, interconnect %.1f, static %.1f)\n",
+		e.Total()/1e6, e.CoreSRAM/1e6, e.DRAM/1e6, e.Interconnect/1e6, e.Static/1e6)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "abndpsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+package abndp_test
+
+import (
+	"fmt"
+
+	"abndp"
+)
+
+// Example runs Page Rank under the baseline and full-ABNDP designs on a
+// small machine and prints which one wins. (Runnable documentation: the
+// output is deterministic.)
+func Example() {
+	cfg := abndp.DefaultConfig()
+	cfg.MeshX, cfg.MeshY = 2, 2
+	cfg.UnitBytes = 16 << 20
+	p := abndp.Params{Scale: 10, Degree: 8, Iters: 3, Seed: 1}
+
+	base, err := abndp.Run("pr", abndp.DesignB, cfg, p)
+	if err != nil {
+		panic(err)
+	}
+	opt, err := abndp.Run("pr", abndp.DesignO, cfg, p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ABNDP faster: %v\n", opt.Makespan < base.Makespan)
+	fmt.Printf("fewer remote hops than baseline: %v\n", opt.InterHops < base.InterHops)
+	// Output:
+	// ABNDP faster: true
+	// fewer remote hops than baseline: true
+}
+
+// ExampleNewProgram ports a trivial workload to the Swarm-style task model
+// of §3.1: each task increments a counter for its element, touching only
+// its own line.
+func ExampleNewProgram() {
+	const n = 64
+	counts := make([]int, n)
+	var arr *abndp.Array
+
+	body := func(rt *abndp.Runtime, t *abndp.Task) {
+		counts[t.Elem]++
+		rt.Charge(5)
+	}
+	prog := abndp.NewProgram("count", func(rt *abndp.Runtime) {
+		arr = rt.NewArray("count.elems", n, 16)
+		for i := 0; i < n; i++ {
+			rt.EnqueueTask(body, 0, abndp.Hint{Lines: []abndp.Line{arr.LineOf(i)}}, i)
+		}
+	})
+
+	cfg := abndp.DefaultConfig()
+	cfg.MeshX, cfg.MeshY = 2, 2
+	cfg.UnitBytes = 16 << 20
+	res, err := abndp.RunApp(prog, abndp.DesignO, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tasks: %d, every element once: %v\n", res.Tasks, counts[0] == 1 && counts[n-1] == 1)
+	// Output:
+	// tasks: 64, every element once: true
+}
+
+// ExampleCharacterize profiles a workload without running the timing model.
+func ExampleCharacterize() {
+	cfg := abndp.DefaultConfig()
+	cfg.MeshX, cfg.MeshY = 2, 2
+	cfg.UnitBytes = 16 << 20
+	fr, err := abndp.Characterize("spmv", cfg, abndp.Params{Scale: 8, Degree: 4, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("one task per matrix row: %v\n", fr.Tasks == 256)
+	// Output:
+	// one task per matrix row: true
+}

@@ -1,0 +1,114 @@
+// Customapp shows how to port a new workload to the task-based execution
+// model using only the public abndp API: a sparse histogram over a
+// Zipf-skewed key stream. Each task processes one batch of keys, reads the
+// bucket lines its keys touch (the hint), and increments app-side counts;
+// bucket updates are bulk-applied at the barrier.
+//
+// The skewed keys make a few bucket lines hot — exactly the pattern where
+// ABNDP's camp caching and hybrid scheduling beat the baseline.
+//
+//	go run ./examples/customapp
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"abndp"
+)
+
+const (
+	buckets   = 1 << 14
+	batches   = 1 << 13
+	batchSize = 32
+)
+
+// histogram implements abndp.App.
+type histogram struct {
+	keys [][]int32 // one slice per batch task
+
+	barr   *abndp.Array // bucket counters, 8 B each
+	qarr   *abndp.Array // per-batch descriptors (main elements), 16 B
+	counts []int64
+	staged []int64 // per-timestamp increments, bulk-applied
+}
+
+func (h *histogram) Name() string { return "histogram" }
+
+func (h *histogram) Setup(sys *abndp.System) {
+	rng := rand.New(rand.NewSource(11))
+	zipf := rand.NewZipf(rng, 1.4, 1, buckets-1)
+	h.keys = make([][]int32, batches)
+	for b := range h.keys {
+		ks := make([]int32, batchSize)
+		for i := range ks {
+			ks[i] = int32(zipf.Uint64())
+		}
+		h.keys[b] = ks
+	}
+	h.barr = sys.Space.NewArray("hist.buckets", buckets, 8, abndp.Interleave)
+	h.qarr = sys.Space.NewArray("hist.batches", batches, 16, abndp.Interleave)
+	h.counts = make([]int64, buckets)
+	h.staged = make([]int64, buckets)
+}
+
+func (h *histogram) hint(batch int) abndp.Hint {
+	lines := []abndp.Line{h.qarr.LineOf(batch)}
+	for _, k := range h.keys[batch] {
+		lines = h.barr.AppendLines(lines, int(k))
+	}
+	return abndp.Hint{Lines: lines}
+}
+
+func (h *histogram) InitialTasks(emit func(*abndp.Task)) {
+	for b := 0; b < batches; b++ {
+		emit(&abndp.Task{Elem: b, Hint: h.hint(b)})
+	}
+}
+
+func (h *histogram) Execute(t *abndp.Task, ctx *abndp.ExecCtx) int64 {
+	for _, k := range h.keys[t.Elem] {
+		h.staged[k]++
+	}
+	return 4 * batchSize
+}
+
+func (h *histogram) EndTimestamp(int64) {
+	for i, v := range h.staged {
+		h.counts[i] += v
+		h.staged[i] = 0
+	}
+}
+
+func main() {
+	cfg := abndp.DefaultConfig()
+
+	appB := &histogram{}
+	resB, err := abndp.RunApp(appB, abndp.DesignB, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	appO := &histogram{}
+	resO, err := abndp.RunApp(appO, abndp.DesignO, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sanity: both runs must produce the same histogram.
+	var total int64
+	for i := range appB.counts {
+		if appB.counts[i] != appO.counts[i] {
+			log.Fatalf("bucket %d differs across designs", i)
+		}
+		total += appB.counts[i]
+	}
+
+	fmt.Printf("histogram of %d keys into %d buckets (hottest bucket: %d hits)\n",
+		total, buckets, appB.counts[0])
+	fmt.Printf("design B: %8d cycles, %8d hops, imbalance %.2fx\n",
+		resB.Makespan, resB.InterHops, resB.Stats.ImbalanceRatio())
+	fmt.Printf("design O: %8d cycles, %8d hops, imbalance %.2fx  (%.2fx speedup)\n",
+		resO.Makespan, resO.InterHops, resO.Stats.ImbalanceRatio(),
+		float64(resB.Makespan)/float64(resO.Makespan))
+}

@@ -1,0 +1,48 @@
+// Quickstart: simulate Page Rank on the default 128-unit NDP system under
+// the baseline design B and under full ABNDP (design O), and compare
+// performance, remote traffic, load balance, and energy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"abndp"
+)
+
+func main() {
+	cfg := abndp.DefaultConfig()
+	params := abndp.Params{Scale: 13, Degree: 12, Iters: 3, Seed: 7}
+
+	baseline, err := abndp.Run("pr", abndp.DesignB, cfg, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	optimized, err := abndp.Run("pr", abndp.DesignO, cfg, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Page Rank, %d tasks over %d iterations on %d NDP units\n\n",
+		baseline.Tasks, baseline.Steps, cfg.Units())
+
+	show := func(r *abndp.Result) {
+		fmt.Printf("design %-2s  %8d cycles  %9d inter-stack hops  "+
+			"imbalance %.2fx  energy %7.1f uJ\n",
+			r.Design, r.Makespan, r.InterHops,
+			r.Stats.ImbalanceRatio(), r.Energy.Total()/1e6)
+	}
+	show(baseline)
+	show(optimized)
+
+	fmt.Printf("\nABNDP speedup: %.2fx, hops: %.2fx, energy: %.2fx\n",
+		float64(baseline.Makespan)/float64(optimized.Makespan),
+		float64(optimized.InterHops)/float64(baseline.InterHops),
+		optimized.Energy.Total()/baseline.Energy.Total())
+
+	if hr := optimized.Stats.CacheHitRate(); hr > 0 {
+		fmt.Printf("Traveller Cache hit rate: %.1f%%\n", hr*100)
+	}
+}

@@ -1,0 +1,57 @@
+// Sweep explores the Traveller Cache design space on a single workload:
+// camp count, cache capacity, and the skewed-vs-identical mapping —
+// the §7.2 design-choice studies in miniature.
+//
+//	go run ./examples/sweep
+//	go run ./examples/sweep -app spmv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"abndp"
+)
+
+func main() {
+	app := flag.String("app", "pr", "workload to sweep")
+	flag.Parse()
+
+	params := abndp.Params{Scale: 13, Degree: 12, Seed: 7}
+	run := func(mut func(*abndp.Config)) *abndp.Result {
+		cfg := abndp.DefaultConfig()
+		mut(&cfg)
+		res, err := abndp.Run(*app, abndp.DesignO, cfg, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fmt.Printf("workload %s under full ABNDP (design O)\n", *app)
+
+	fmt.Println("\ncamp count C (groups = C+1):")
+	for _, c := range []int{1, 3, 7, 15} {
+		res := run(func(cfg *abndp.Config) { cfg.CampCount = c })
+		fmt.Printf("  C=%-2d  %8d cycles  %9d hops  cache hits %.1f%%\n",
+			c, res.Makespan, res.InterHops, res.Stats.CacheHitRate()*100)
+	}
+
+	fmt.Println("\ncache capacity (fraction of local DRAM):")
+	for _, r := range []int{512, 128, 64, 16} {
+		res := run(func(cfg *abndp.Config) { cfg.CacheRatio = r })
+		fmt.Printf("  1/%-4d %8d cycles  %9d hops  cache hits %.1f%%\n",
+			r, res.Makespan, res.InterHops, res.Stats.CacheHitRate()*100)
+	}
+
+	fmt.Println("\ncamp unit-ID mapping:")
+	for _, skewed := range []bool{false, true} {
+		res := run(func(cfg *abndp.Config) { cfg.SkewedMapping = skewed })
+		name := "identical"
+		if skewed {
+			name = "skewed"
+		}
+		fmt.Printf("  %-10s %8d cycles  %9d hops\n", name, res.Makespan, res.InterHops)
+	}
+}

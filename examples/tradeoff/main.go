@@ -1,0 +1,52 @@
+// Tradeoff reproduces the paper's motivating experiment (§2.3, Figure 2)
+// interactively: it runs Page Rank under every Table 2 NDP design and
+// prints the remote-access/load-balance tradeoff each one makes — showing
+// why lowest-distance mapping and work stealing each fix one problem while
+// worsening the other, and how ABNDP escapes the tradeoff.
+//
+//	go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"abndp"
+)
+
+func main() {
+	cfg := abndp.DefaultConfig()
+	params := abndp.Params{Scale: 13, Degree: 12, Iters: 3, Seed: 7}
+
+	type row struct {
+		design abndp.Design
+		note   string
+	}
+	rows := []row{
+		{abndp.DesignB, "co-locate with the main element"},
+		{abndp.DesignSm, "lowest distance: fewest hops, worst hotspots"},
+		{abndp.DesignSl, "work stealing: balanced, but hops blow up"},
+		{abndp.DesignSh, "hybrid scheduling only"},
+		{abndp.DesignC, "Traveller Cache only"},
+		{abndp.DesignO, "full ABNDP co-design"},
+	}
+
+	var base *abndp.Result
+	fmt.Printf("%-3s %-10s %-8s %-10s %s\n", "", "speedup", "hops", "imbalance", "note")
+	for _, r := range rows {
+		res, err := abndp.Run("pr", r.design, cfg, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == nil {
+			base = res
+		}
+		fmt.Printf("%-3s %-10.2f %-8.2f %-10.2f %s\n",
+			res.Design,
+			float64(base.Makespan)/float64(res.Makespan),
+			float64(res.InterHops)/float64(base.InterHops),
+			res.Stats.ImbalanceRatio(),
+			r.note)
+	}
+	fmt.Println("\nspeedup and hops are relative to design B; imbalance is max/mean unit cycles")
+}

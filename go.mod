@@ -1,0 +1,3 @@
+module abndp
+
+go 1.22

@@ -1,0 +1,394 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"abndp/internal/config"
+	"abndp/internal/dataset"
+	"abndp/internal/graph"
+	"abndp/internal/ndp"
+	"abndp/internal/task"
+)
+
+func testCfg() config.Config {
+	cfg := config.Default()
+	cfg.MeshX, cfg.MeshY = 2, 2
+	cfg.UnitBytes = 16 << 20
+	return cfg
+}
+
+func testParams() Params { return Params{Scale: 8, Degree: 6, Seed: 3} }
+
+func TestRegistry(t *testing.T) {
+	for _, name := range Names {
+		a, err := New(name, testParams())
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if a.Name() != name {
+			t.Fatalf("New(%q).Name() = %q", name, a.Name())
+		}
+	}
+	if _, err := New("bogus", Params{}); err == nil {
+		t.Fatal("New accepted an unknown workload")
+	}
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	app := NewPageRank(testParams())
+	ndp.RunFunctional(testCfg(), app)
+	ref := graph.PageRankRef(app.Graph(), 0.85, 3)
+	var sum float64
+	for v, want := range ref {
+		got := app.Ranks()[v]
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("rank[%d] = %v, want %v", v, got, want)
+		}
+		sum += got
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ranks sum to %v", sum)
+	}
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	app := NewBFS(testParams())
+	ndp.RunFunctional(testCfg(), app)
+	ref := graph.BFSLevels(app.Graph(), app.src)
+	for v, want := range ref {
+		if got := app.Levels()[v]; got != want {
+			t.Fatalf("level[%d] = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestSSSPMatchesDijkstra(t *testing.T) {
+	app := NewSSSP(testParams())
+	ndp.RunFunctional(testCfg(), app)
+	ref := graph.Dijkstra(app.Graph(), app.src)
+	for v, want := range ref {
+		got := app.Dist()[v]
+		if math.Abs(float64(got-want)) > 1e-3 {
+			t.Fatalf("dist[%d] = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestAStarFindsOptimalPaths(t *testing.T) {
+	app := NewAStar(testParams())
+	ndp.RunFunctional(testCfg(), app)
+	for s := 0; s < app.Searches(); s++ {
+		ref := graph.Dijkstra(app.Graph(), app.Source(s))
+		want := ref[app.Goal(s)]
+		if got := app.GoalDistance(s); math.Abs(float64(got-want)) > 1e-3 {
+			t.Fatalf("search %d: goal distance = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestAStarPrunesWork(t *testing.T) {
+	// The heuristic must save expansions relative to exhaustive
+	// relaxation: an admissible A* should not expand every task it sees
+	// once a goal bound exists.
+	app := NewAStar(Params{Scale: 10, Seed: 3})
+	fr := ndp.RunFunctional(testCfg(), app)
+	if app.Expanded() >= fr.Tasks {
+		t.Fatalf("expanded %d of %d tasks; pruning never fired", app.Expanded(), fr.Tasks)
+	}
+}
+
+func TestGCNMatchesReference(t *testing.T) {
+	app := NewGCN(testParams())
+	ndp.RunFunctional(testCfg(), app)
+	// Recompute from scratch with the unchunked Reference on a fresh
+	// instance, layer by layer, to cross-check the chunked partial /
+	// combine execution and the double buffering.
+	chk := NewGCN(testParams())
+	sys := ndp.NewSystem(testCfg(), config.DesignB)
+	chk.Setup(sys)
+	cur := chk.cur
+	for layer := 0; layer < chk.p.Iters; layer++ {
+		next := make([][]float32, len(cur))
+		for v := range cur {
+			next[v] = chk.Reference(cur, v)
+		}
+		cur = next
+	}
+	for v := range cur {
+		for f := 0; f < gcnF; f++ {
+			if math.Abs(float64(app.Features()[v][f]-cur[v][f])) > 1e-3 {
+				t.Fatalf("feature[%d][%d] = %v, want %v", v, f, app.Features()[v][f], cur[v][f])
+			}
+		}
+	}
+}
+
+func TestKMeansMatchesSequentialLloyd(t *testing.T) {
+	p := Params{Scale: 9, Iters: 3, Seed: 3}
+	app := NewKMeans(p)
+	ndp.RunFunctional(testCfg(), app)
+
+	// Sequential Lloyd reference from the identical initialization.
+	pts := app.Points()
+	n := pts.Len()
+	centroids := make([][]float32, kmeansK)
+	for c := range centroids {
+		centroids[c] = append([]float32(nil), pts.Data[c*n/kmeansK]...)
+	}
+	assign := make([]int, n)
+	for it := 0; it < p.Iters; it++ {
+		for i := 0; i < n; i++ {
+			best, bestD := 0, dataset.Dist2(pts.Data[i], centroids[0])
+			for c := 1; c < kmeansK; c++ {
+				if d := dataset.Dist2(pts.Data[i], centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+		}
+		var sums [kmeansK][kmeansDim]float64
+		var counts [kmeansK]int
+		for i, c := range assign {
+			for d := 0; d < kmeansDim; d++ {
+				sums[c][d] += float64(pts.Data[i][d])
+			}
+			counts[c]++
+		}
+		for c := 0; c < kmeansK; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			for d := 0; d < kmeansDim; d++ {
+				centroids[c][d] = float32(sums[c][d] / float64(counts[c]))
+			}
+		}
+	}
+	for i := range assign {
+		if app.Assignment()[i] != assign[i] {
+			t.Fatalf("point %d assigned to %d, reference says %d",
+				i, app.Assignment()[i], assign[i])
+		}
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	app := NewKNN(Params{Scale: 9, Seed: 3})
+	ndp.RunFunctional(testCfg(), app)
+	for qi, pi := range app.Queries() {
+		if qi%37 != 0 {
+			continue // spot-check
+		}
+		q := app.Points().Data[pi]
+		got := app.Results()[qi]
+		if len(got) != knnK {
+			t.Fatalf("query %d returned %d neighbors", qi, len(got))
+		}
+		// Verify distances are the k smallest by brute force.
+		kth := dataset.Dist2(q, app.Points().Data[got[len(got)-1]])
+		closer := 0
+		for i := range app.Points().Data {
+			if dataset.Dist2(q, app.Points().Data[i]) < kth {
+				closer++
+			}
+		}
+		if closer > knnK {
+			t.Fatalf("query %d: %d points closer than the returned kth", qi, closer)
+		}
+	}
+}
+
+func TestSpMVMatchesDense(t *testing.T) {
+	app := NewSpMV(testParams())
+	ndp.RunFunctional(testCfg(), app)
+	m := app.Matrix()
+	for r := 0; r < m.N; r++ {
+		var want float64
+		ws := m.Weights(r)
+		for i, c := range m.Neighbors(r) {
+			want += float64(ws[i]) * app.X()[c]
+		}
+		if math.Abs(app.Y()[r]-want) > 1e-9 {
+			t.Fatalf("y[%d] = %v, want %v", r, app.Y()[r], want)
+		}
+	}
+}
+
+// Every app must produce identical outputs under the full event-driven
+// simulation (design O, with stealing-free placement but arbitrary
+// intra-timestamp order) and the functional reference executor.
+func TestSimulatedMatchesFunctional(t *testing.T) {
+	cfg := testCfg()
+	check := func(name string, get func(a ndp.App) []float64) {
+		fApp := MustNew(name, testParams())
+		ndp.RunFunctional(cfg, fApp)
+		sApp := MustNew(name, testParams())
+		ndp.NewSystem(cfg, config.DesignO).Run(sApp)
+		f, s := get(fApp), get(sApp)
+		if len(f) != len(s) {
+			t.Fatalf("%s: output lengths differ", name)
+		}
+		for i := range f {
+			if math.Abs(f[i]-s[i]) > 1e-9 {
+				t.Fatalf("%s: output[%d] functional %v vs simulated %v", name, i, f[i], s[i])
+			}
+		}
+	}
+	check("pr", func(a ndp.App) []float64 { return a.(*PageRank).Ranks() })
+	check("spmv", func(a ndp.App) []float64 { return a.(*SpMV).Y() })
+	check("sssp", func(a ndp.App) []float64 {
+		d := a.(*SSSP).Dist()
+		out := make([]float64, len(d))
+		for i, v := range d {
+			out[i] = float64(v)
+		}
+		return out
+	})
+	check("bfs", func(a ndp.App) []float64 {
+		d := a.(*BFS).Levels()
+		out := make([]float64, len(d))
+		for i, v := range d {
+			out[i] = float64(v)
+		}
+		return out
+	})
+}
+
+// Under work stealing tasks run on arbitrary units in arbitrary order; the
+// bulk-synchronous semantics must still give identical results.
+func TestStealingPreservesSemantics(t *testing.T) {
+	cfg := testCfg()
+	fApp := NewPageRank(testParams())
+	ndp.RunFunctional(cfg, fApp)
+	sApp := NewPageRank(testParams())
+	ndp.NewSystem(cfg, config.DesignSl).Run(sApp)
+	for v := range fApp.Ranks() {
+		if math.Abs(fApp.Ranks()[v]-sApp.Ranks()[v]) > 1e-12 {
+			t.Fatalf("rank[%d] differs under stealing", v)
+		}
+	}
+}
+
+func TestAllAppsEmitValidHints(t *testing.T) {
+	cfg := testCfg()
+	for _, name := range Names {
+		app := MustNew(name, testParams())
+		sys := ndp.NewSystem(cfg, config.DesignB)
+		app.Setup(sys)
+		count := 0
+		app.InitialTasks(func(tk *task.Task) {
+			count++
+			if len(tk.Hint.Lines) == 0 {
+				t.Fatalf("%s: task %d has an empty hint", name, tk.Elem)
+			}
+			for _, l := range tk.Hint.Lines {
+				// Every hinted line must be a valid allocated address;
+				// HomeOfLine panics otherwise.
+				sys.Space.HomeOfLine(l)
+			}
+		})
+		if count == 0 {
+			t.Fatalf("%s: no initial tasks", name)
+		}
+	}
+}
+
+func TestGraphPathLoadsRealInput(t *testing.T) {
+	dir := t.TempDir()
+	// A tiny weighted edge list with an obvious hub.
+	path := filepath.Join(dir, "tiny.txt")
+	var sb strings.Builder
+	for i := 1; i < 40; i++ {
+		fmt.Fprintf(&sb, "%d 0\n0 %d\n", i, i)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"pr", "bfs", "sssp", "gcn", "spmv"} {
+		app, err := New(name, Params{Seed: 3, GraphPath: path})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res := ndp.NewSystem(testCfg(), config.DesignO).Run(app)
+		if res.Tasks == 0 {
+			t.Fatalf("%s on a loaded graph ran no tasks", name)
+		}
+	}
+	// Non-graph workloads reject a graph path.
+	if _, err := New("kmeans", Params{GraphPath: path}); err == nil {
+		t.Fatal("kmeans must reject GraphPath")
+	}
+	// Missing files surface as errors.
+	if _, err := New("pr", Params{GraphPath: filepath.Join(dir, "nope.txt")}); err == nil {
+		t.Fatal("missing graph file must error")
+	}
+}
+
+// ccReference computes components with BFS over the symmetric closure.
+func ccReference(g *graph.CSR) []int32 {
+	label := make([]int32, g.N)
+	for i := range label {
+		label[i] = -1
+	}
+	for v := 0; v < g.N; v++ {
+		if label[v] >= 0 {
+			continue
+		}
+		// BFS from v; the component label is its minimum vertex, which is
+		// v itself since we scan ascending.
+		frontier := []int32{int32(v)}
+		label[v] = int32(v)
+		for len(frontier) > 0 {
+			var next []int32
+			for _, u := range frontier {
+				for _, w := range g.Neighbors(int(u)) {
+					if label[w] < 0 {
+						label[w] = int32(v)
+						next = append(next, w)
+					}
+				}
+			}
+			frontier = next
+		}
+	}
+	return label
+}
+
+func TestCCMatchesReference(t *testing.T) {
+	app := NewCC(testParams())
+	ndp.RunFunctional(testCfg(), app)
+	want := ccReference(app.Graph())
+	for v, got := range app.Labels() {
+		if got != want[v] {
+			t.Fatalf("label[%d] = %d, want %d", v, got, want[v])
+		}
+	}
+}
+
+func TestCCSimulatedMatchesFunctional(t *testing.T) {
+	fApp := NewCC(testParams())
+	ndp.RunFunctional(testCfg(), fApp)
+	sApp := NewCC(testParams())
+	ndp.NewSystem(testCfg(), config.DesignSl).Run(sApp)
+	for v := range fApp.Labels() {
+		if fApp.Labels()[v] != sApp.Labels()[v] {
+			t.Fatalf("label[%d] differs under simulation", v)
+		}
+	}
+}
+
+func TestExtraNamesRegistered(t *testing.T) {
+	for _, name := range ExtraNames {
+		a, err := New(name, testParams())
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if a.Name() != name {
+			t.Fatalf("New(%q).Name() = %q", name, a.Name())
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+
+	"abndp/internal/apps"
+	"abndp/internal/config"
+	"abndp/internal/ndp"
+)
+
+// Ablations beyond the paper's figures, each checking a design-choice claim
+// made in the paper's text:
+//
+//   - ablrepl:  §4.4 "little performance difference between an LRU and a
+//     random policy" — random vs LRU Traveller replacement.
+//   - ablprobe: §4.3 "it is usually unnecessary to probe other distant camp
+//     locations" — nearest-only vs probe-all-camps miss handling.
+//   - ablhint:  §3.1 "the estimation only needs to be approximate" —
+//     estimated vs exact workload hints.
+//   - abltopo:  §2.1 topology-independence — mesh vs torus inter-stack
+//     network under design O vs B.
+
+// AblationExperiments lists the extra experiments in display order.
+var AblationExperiments = []string{"ablrepl", "ablprobe", "ablhint", "abltopo", "ablsteal", "ablwindow"}
+
+// runP is run with an additional workload-parameter mutation.
+func (r *Runner) runP(app string, d config.Design, cfgMut func(*config.Config), pMut func(*apps.Params)) *ndp.Result {
+	cfg := r.base
+	if cfgMut != nil {
+		cfgMut(&cfg)
+	}
+	p := r.params(app)
+	if pMut != nil {
+		pMut(&p)
+	}
+	k := key(app, d, cfg, p)
+	if res, ok := r.cache[k]; ok {
+		return res
+	}
+	a, err := apps.New(app, p)
+	if err != nil {
+		panic(err)
+	}
+	res := ndp.NewSystem(cfg, d).Run(a)
+	r.cache[k] = res
+	return res
+}
+
+// AblationReplacement compares random vs LRU Traveller Cache replacement.
+func (r *Runner) AblationReplacement() {
+	r.header("Ablation: Traveller replacement policy (§4.4; normalized to random)")
+	w := r.tw()
+	fmt.Fprintf(w, "app\tpolicy\tspeedup\thops\n")
+	for _, app := range figureApps {
+		ref := r.run(app, config.DesignO, nil)
+		for _, repl := range []config.Replacement{config.ReplaceRandom, config.ReplaceLRU} {
+			repl := repl
+			res := r.run(app, config.DesignO, func(c *config.Config) { c.Replacement = repl })
+			fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f\n", app, repl,
+				float64(ref.Makespan)/float64(res.Makespan),
+				float64(res.InterHops)/float64(ref.InterHops))
+		}
+	}
+	w.Flush()
+}
+
+// AblationProbeAll compares nearest-camp-only probing against chasing every
+// camp in distance order before going home.
+func (r *Runner) AblationProbeAll() {
+	r.header("Ablation: nearest-only vs probe-all camp misses (§4.3; normalized to nearest)")
+	w := r.tw()
+	fmt.Fprintf(w, "app\tpolicy\tspeedup\thops\tcache hit rate\n")
+	for _, app := range figureApps {
+		ref := r.run(app, config.DesignO, nil)
+		for _, all := range []bool{false, true} {
+			all := all
+			name := "nearest"
+			if all {
+				name = "probe-all"
+			}
+			res := r.run(app, config.DesignO, func(c *config.Config) { c.ProbeAllCamps = all })
+			fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f\t%.3f\n", app, name,
+				float64(ref.Makespan)/float64(res.Makespan),
+				float64(res.InterHops)/float64(ref.InterHops),
+				res.Stats.CacheHitRate())
+		}
+	}
+	w.Flush()
+}
+
+// AblationHints compares estimated workload hints against exact ones.
+func (r *Runner) AblationHints() {
+	r.header("Ablation: estimated vs exact workload hints (§3.1; normalized to estimated)")
+	w := r.tw()
+	fmt.Fprintf(w, "app\thints\tspeedup\timbalance\n")
+	for _, app := range figureApps {
+		ref := r.run(app, config.DesignO, nil)
+		for _, perfect := range []bool{false, true} {
+			perfect := perfect
+			name := "estimated"
+			if perfect {
+				name = "exact"
+			}
+			res := r.runP(app, config.DesignO, nil, func(p *apps.Params) { p.PerfectHints = perfect })
+			fmt.Fprintf(w, "%s\t%s\t%.3f\t%.2f\n", app, name,
+				float64(ref.Makespan)/float64(res.Makespan),
+				res.Stats.ImbalanceRatio())
+		}
+	}
+	w.Flush()
+}
+
+// AblationStealing compares random victim selection (Blumofe-Leiserson)
+// against snapshot-informed victim selection for design Sl.
+func (r *Runner) AblationStealing() {
+	r.header("Ablation: random vs snapshot-informed work stealing (design Sl; normalized to random)")
+	w := r.tw()
+	fmt.Fprintf(w, "app\tvictim policy\tspeedup\timbalance\thops\n")
+	for _, app := range figureApps {
+		ref := r.run(app, config.DesignSl, nil)
+		for _, informed := range []bool{false, true} {
+			informed := informed
+			name := "random"
+			if informed {
+				name = "informed"
+			}
+			res := r.run(app, config.DesignSl, func(c *config.Config) { c.InformedStealing = informed })
+			fmt.Fprintf(w, "%s\t%s\t%.3f\t%.2f\t%.3f\n", app, name,
+				float64(ref.Makespan)/float64(res.Makespan),
+				res.Stats.ImbalanceRatio(),
+				float64(res.InterHops)/float64(ref.InterHops))
+		}
+	}
+	w.Flush()
+}
+
+// AblationWindow compares instantaneous task placement against the
+// asynchronous hardware scheduling window of Figure 4 (several window
+// sizes at the default 64-cycle scheduler period).
+func (r *Runner) AblationWindow() {
+	r.header("Ablation: scheduling window (Figure 4; design O; normalized to instantaneous)")
+	w := r.tw()
+	fmt.Fprintf(w, "app\twindow\tspeedup\n")
+	for _, app := range figureApps {
+		ref := r.run(app, config.DesignO, nil)
+		for _, win := range []int{0, 2, 8, 32} {
+			win := win
+			name := "instant"
+			if win > 0 {
+				name = fmt.Sprintf("%d/period", win)
+			}
+			res := r.run(app, config.DesignO, func(c *config.Config) { c.SchedulingWindow = win })
+			fmt.Fprintf(w, "%s\t%s\t%.3f\n", app, name,
+				float64(ref.Makespan)/float64(res.Makespan))
+		}
+	}
+	w.Flush()
+}
+
+// AblationTopology compares the O-over-B gain on a mesh and on a torus.
+func (r *Runner) AblationTopology() {
+	r.header("Ablation: mesh vs torus inter-stack network (O speedup over B on each)")
+	w := r.tw()
+	fmt.Fprintf(w, "app\ttopology\tO/B speedup\tO hops/B hops\n")
+	for _, app := range figureApps {
+		for _, torus := range []bool{false, true} {
+			torus := torus
+			name := "mesh"
+			if torus {
+				name = "torus"
+			}
+			mut := func(c *config.Config) { c.Torus = torus }
+			base := r.run(app, config.DesignB, mut)
+			opt := r.run(app, config.DesignO, mut)
+			fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f\n", app, name,
+				float64(base.Makespan)/float64(opt.Makespan),
+				float64(opt.InterHops)/float64(base.InterHops))
+		}
+	}
+	w.Flush()
+}

@@ -1,0 +1,213 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§7): it runs the right (workload, design, configuration)
+// grid for each experiment, derives the same normalized metrics the paper
+// plots, and prints them as text tables. cmd/abndpbench and the root
+// bench_test.go both drive this package.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"abndp/internal/apps"
+	"abndp/internal/config"
+	"abndp/internal/host"
+	"abndp/internal/ndp"
+	"abndp/internal/stats"
+)
+
+// Runner executes and caches simulation runs for the experiments.
+type Runner struct {
+	out   io.Writer
+	base  config.Config
+	quick bool
+	cache map[string]*ndp.Result
+	fcach map[string]*ndp.FunctionalResult
+}
+
+// NewRunner builds a Runner writing its tables to w, using the Table 1
+// configuration as the base.
+func NewRunner(w io.Writer) *Runner {
+	return &Runner{
+		out:   w,
+		base:  config.Default(),
+		cache: make(map[string]*ndp.Result),
+		fcach: make(map[string]*ndp.FunctionalResult),
+	}
+}
+
+// SetQuick shrinks workload sizes (for smoke tests of the harness itself).
+func (r *Runner) SetQuick(q bool) { r.quick = q }
+
+// benchSizes are the workload sizes used for the experiments: large enough
+// that execution spans many exchange intervals and the power-law skew
+// drives real hotspots, small enough that the full ~300-run suite stays
+// tractable.
+var benchSizes = map[string]apps.Params{
+	"pr":     {Scale: 14, Degree: 12, Iters: 3, Seed: 42},
+	"bfs":    {Scale: 15, Degree: 12, Seed: 42},
+	"sssp":   {Scale: 14, Degree: 12, Seed: 42},
+	"astar":  {Scale: 12, Seed: 42},
+	"gcn":    {Scale: 12, Degree: 12, Iters: 2, Seed: 42},
+	"kmeans": {Scale: 14, Iters: 3, Seed: 42},
+	"knn":    {Scale: 13, Seed: 42},
+	"spmv":   {Scale: 14, Degree: 12, Seed: 42},
+}
+
+// params returns the workload sizing used for the experiments.
+func (r *Runner) params(app string) apps.Params {
+	if r.quick {
+		return apps.Params{Scale: 8, Degree: 6, Seed: 42}
+	}
+	if p, ok := benchSizes[app]; ok {
+		return p
+	}
+	return apps.Params{Seed: 42}
+}
+
+// key fingerprints a run for the cache.
+func key(app string, d config.Design, cfg config.Config, p apps.Params) string {
+	return fmt.Sprintf("%s|%s|%+v|%+v", app, d, cfg, p)
+}
+
+// run simulates (or returns the cached result of) one configuration.
+func (r *Runner) run(app string, d config.Design, mut func(*config.Config)) *ndp.Result {
+	cfg := r.base
+	if mut != nil {
+		mut(&cfg)
+	}
+	p := r.params(app)
+	k := key(app, d, cfg, p)
+	if res, ok := r.cache[k]; ok {
+		return res
+	}
+	a, err := apps.New(app, p)
+	if err != nil {
+		panic(err)
+	}
+	res := ndp.NewSystem(cfg, d).Run(a)
+	r.cache[k] = res
+	return res
+}
+
+// functional characterizes a workload once for the host model.
+func (r *Runner) functional(app string) *ndp.FunctionalResult {
+	p := r.params(app)
+	k := fmt.Sprintf("%s|%+v", app, p)
+	if fr, ok := r.fcach[k]; ok {
+		return fr
+	}
+	a, err := apps.New(app, p)
+	if err != nil {
+		panic(err)
+	}
+	fr := ndp.RunFunctional(r.base, a)
+	r.fcach[k] = fr
+	return fr
+}
+
+// hostSeconds estimates design H's time for a workload.
+func (r *Runner) hostSeconds(app string) float64 {
+	return host.Run(host.Default(), r.functional(app)).Seconds
+}
+
+// figureApps are the representative workloads of Figures 8, 9, 11-18.
+var figureApps = []string{"pr", "bfs", "gcn", "knn", "spmv"}
+
+func (r *Runner) tw() *tabwriter.Writer {
+	return tabwriter.NewWriter(r.out, 2, 4, 2, ' ', 0)
+}
+
+func (r *Runner) header(title string) {
+	fmt.Fprintf(r.out, "\n=== %s ===\n", title)
+}
+
+// Experiment names in paper order.
+var Experiments = []string{
+	"tab1", "tab2", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10",
+	"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+}
+
+// Run executes one experiment by name.
+func (r *Runner) Run(name string) error {
+	switch name {
+	case "tab1":
+		r.Table1()
+	case "tab2":
+		r.Table2()
+	case "fig2":
+		r.Figure2()
+	case "fig6":
+		r.Figure6()
+	case "fig7":
+		r.Figure7()
+	case "fig8":
+		r.Figure8()
+	case "fig9":
+		r.Figure9()
+	case "fig10":
+		r.Figure10()
+	case "fig11":
+		r.Figure11()
+	case "fig12":
+		r.Figure12()
+	case "fig13":
+		r.Figure13()
+	case "fig14":
+		r.Figure14()
+	case "fig15":
+		r.Figure15()
+	case "fig16":
+		r.Figure16()
+	case "fig17":
+		r.Figure17()
+	case "fig18":
+		r.Figure18()
+	case "ablrepl":
+		r.AblationReplacement()
+	case "ablprobe":
+		r.AblationProbeAll()
+	case "ablhint":
+		r.AblationHints()
+	case "abltopo":
+		r.AblationTopology()
+	case "ablsteal":
+		r.AblationStealing()
+	case "ablwindow":
+		r.AblationWindow()
+	default:
+		return fmt.Errorf("bench: unknown experiment %q", name)
+	}
+	return nil
+}
+
+// RunAll executes every experiment in paper order, then the ablations.
+func (r *Runner) RunAll() {
+	for _, e := range Experiments {
+		if err := r.Run(e); err != nil {
+			panic(err)
+		}
+	}
+	for _, e := range AblationExperiments {
+		if err := r.Run(e); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// loadCurve summarizes a Figure 9 curve: selected quantiles of per-core
+// active cycles normalized to the design's mean.
+func loadCurve(st *stats.System) (min, q1, med, q3, max float64) {
+	cycles := st.CoreActiveCycles()
+	var sum int64
+	for _, c := range cycles {
+		sum += c
+	}
+	if sum == 0 {
+		return
+	}
+	mean := float64(sum) / float64(len(cycles))
+	b := stats.Box(cycles)
+	return b.Min / mean, b.Q1 / mean, b.Median / mean, b.Q3 / mean, b.Max / mean
+}

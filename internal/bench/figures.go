@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"fmt"
+
+	"abndp/internal/config"
+	"abndp/internal/mem"
+	"abndp/internal/stats"
+	"abndp/internal/traveller"
+)
+
+// Table1 prints the system configuration (paper Table 1).
+func (r *Runner) Table1() {
+	r.header("Table 1: System configurations")
+	c := r.base
+	w := r.tw()
+	fmt.Fprintf(w, "NDP system\t%dx%d stacks in mesh, %d NDP units per stack; %d GB total, %d MB per unit\n",
+		c.MeshX, c.MeshY, c.UnitsPerStack,
+		uint64(c.Units())*c.UnitBytes>>30, c.UnitBytes>>20)
+	fmt.Fprintf(w, "NDP core\t%.0f GHz, %d cores per NDP unit (%d in total)\n",
+		c.CoreGHz, c.CoresPerUnit, c.Units()*c.CoresPerUnit)
+	fmt.Fprintf(w, "L1-D cache\t%d kB, %d-way, 64 B cachelines, LRU\n", c.L1DBytes>>10, c.L1DWays)
+	fmt.Fprintf(w, "L1-I cache\t%d kB, %d-way, 64 B cachelines, LRU\n", c.L1IBytes>>10, c.L1IWays)
+	fmt.Fprintf(w, "Prefetch buffer\t%d kB, 64 B blocks, FIFO\n", c.PrefetchBufBytes>>10)
+	fmt.Fprintf(w, "DRAM channel\ttCAS=tRCD=tRP=%.0f ns; %.1f pJ/bit RD/WR, %.1f pJ ACT/PRE\n",
+		c.TCASns, c.DRAMPJPerBit, c.DRAMActPrePJ)
+	fmt.Fprintf(w, "Intra-stack net\t%.1f ns/hop; %.1f pJ/bit\n", c.IntraHopNS, c.IntraPJPerBit)
+	fmt.Fprintf(w, "Inter-stack net\t%.0f ns/hop; %.1f pJ/bit\n", c.InterHopNS, c.InterPJPerBit)
+	fmt.Fprintf(w, "Traveller Cache\t1/%d of local mem, %d-way; C=%d camps; random repl., %.0f%% bypass\n",
+		c.CacheRatio, c.CacheWays, c.CampCount, c.BypassProb*100)
+	fmt.Fprintf(w, "Scheduler\t%d-cycle workload exchange; hybrid weight B = 3*Dinter\n",
+		c.ExchangeInterval)
+	sets := int(c.CacheBytes()) / mem.LineSize / c.CacheWays
+	fmt.Fprintf(w, "SRAM tags\t%d bits/entry (15 without camp restriction)\n",
+		traveller.TagBits(uint64(c.Units())*c.UnitBytes, sets, c.Units()/c.Groups()))
+	w.Flush()
+}
+
+// Table2 prints the evaluated design matrix (paper Table 2).
+func (r *Runner) Table2() {
+	r.header("Table 2: Evaluated system designs")
+	w := r.tw()
+	fmt.Fprintf(w, "Design\tTask scheduling\tDRAM caches\n")
+	for _, d := range config.AllDesigns {
+		cache := "No"
+		if d.UsesCache() {
+			cache = "Yes (ours)"
+		}
+		if d == config.DesignH {
+			cache = "-"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\n", d, d.SchedulingName(), cache)
+	}
+	w.Flush()
+}
+
+// Figure2 reproduces the motivation experiment: lowest-distance mapping
+// (LDM = Sm) and work stealing (WS = Sl) on Page Rank — interconnect hops
+// and the per-unit execution-cycle distribution, relative to the baseline.
+func (r *Runner) Figure2() {
+	r.header("Figure 2: LDM/WS tradeoff on Page Rank (normalized to BASE)")
+	w := r.tw()
+	fmt.Fprintf(w, "design\thops\tunit-cycles min\tq25\tq75\tmax\n")
+	base := r.run("pr", config.DesignB, nil)
+	for _, row := range []struct {
+		label string
+		d     config.Design
+	}{{"BASE", config.DesignB}, {"LDM", config.DesignSm}, {"WS", config.DesignSl}} {
+		res := r.run("pr", row.d, nil)
+		b := stats.Box(res.Stats.UnitActiveCycles())
+		bb := stats.Box(base.Stats.UnitActiveCycles())
+		norm := func(x float64) float64 {
+			if bb.Max == 0 {
+				return 0
+			}
+			return x / bb.Max
+		}
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			row.label,
+			float64(res.InterHops)/float64(base.InterHops),
+			norm(b.Min), norm(b.Q1), norm(b.Q3), norm(b.Max))
+	}
+	w.Flush()
+}
+
+// Figure6 prints the overall speedup of every design over B for all eight
+// workloads plus the geomean.
+func (r *Runner) Figure6() {
+	r.header("Figure 6: Overall speedup (normalized to B)")
+	w := r.tw()
+	fmt.Fprintf(w, "app")
+	for _, d := range config.AllDesigns {
+		fmt.Fprintf(w, "\t%s", d)
+	}
+	fmt.Fprintln(w)
+	speedups := map[config.Design][]float64{}
+	for _, app := range appsList() {
+		base := r.run(app, config.DesignB, nil)
+		fmt.Fprintf(w, "%s", app)
+		for _, d := range config.AllDesigns {
+			var s float64
+			if d == config.DesignH {
+				// Speedup of H over B = time(B)/time(H); below 1 when
+				// the NDP baseline beats the host.
+				s = base.Seconds / r.hostSeconds(app)
+			} else {
+				res := r.run(app, d, nil)
+				s = float64(base.Makespan) / float64(res.Makespan)
+			}
+			speedups[d] = append(speedups[d], s)
+			fmt.Fprintf(w, "\t%.2f", s)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "geomean")
+	for _, d := range config.AllDesigns {
+		fmt.Fprintf(w, "\t%.2f", stats.Geomean(speedups[d]))
+	}
+	fmt.Fprintln(w)
+	w.Flush()
+}
+
+// Figure7 prints the four-component energy breakdown normalized to B.
+func (r *Runner) Figure7() {
+	r.header("Figure 7: Energy breakdown (normalized to B)")
+	w := r.tw()
+	fmt.Fprintf(w, "app\tdesign\tstatic\tDRAM\tinterconnect\tcore+SRAM\ttotal\n")
+	for _, app := range appsList() {
+		ref := r.run(app, config.DesignB, nil).Energy
+		for _, d := range config.NDPDesigns {
+			e := r.run(app, d, nil).Energy.NormalizedTo(ref)
+			fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+				app, d, e.Static, e.DRAM, e.Interconnect, e.CoreSRAM, e.Total())
+		}
+	}
+	w.Flush()
+}
+
+// Figure8 prints remote accesses (total inter-stack hops) normalized to B.
+func (r *Runner) Figure8() {
+	r.header("Figure 8: Remote accesses in inter-stack hops (normalized to B)")
+	w := r.tw()
+	fmt.Fprintf(w, "app")
+	for _, d := range config.NDPDesigns {
+		fmt.Fprintf(w, "\t%s", d)
+	}
+	fmt.Fprintln(w)
+	for _, app := range figureApps {
+		base := r.run(app, config.DesignB, nil)
+		fmt.Fprintf(w, "%s", app)
+		for _, d := range config.NDPDesigns {
+			res := r.run(app, d, nil)
+			fmt.Fprintf(w, "\t%.3f", float64(res.InterHops)/float64(base.InterHops))
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+}
+
+// Figure9 prints the workload distribution across NDP cores: quantiles of
+// per-core active cycles, normalized to each design's mean.
+func (r *Runner) Figure9() {
+	r.header("Figure 9: Active-cycle distribution across cores (per-design mean = 1)")
+	w := r.tw()
+	fmt.Fprintf(w, "app\tdesign\tmin\tq25\tmedian\tq75\tmax\n")
+	for _, app := range figureApps {
+		for _, d := range config.NDPDesigns {
+			res := r.run(app, d, nil)
+			mn, q1, md, q3, mx := loadCurve(res.Stats)
+			fmt.Fprintf(w, "%s\t%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+				app, d, mn, q1, md, q3, mx)
+		}
+	}
+	w.Flush()
+}
+
+// Figure10 prints Page Rank speedup and energy at 2x2, 4x4, and 8x8 stack
+// scales, normalized to B at each scale.
+func (r *Runner) Figure10() {
+	r.header("Figure 10: Scalability on Page Rank (normalized to B at each scale)")
+	w := r.tw()
+	fmt.Fprintf(w, "scale\tdesign\tspeedup\tenergy\n")
+	for _, mesh := range []int{2, 4, 8} {
+		mut := func(c *config.Config) { c.MeshX, c.MeshY = mesh, mesh }
+		base := r.run("pr", config.DesignB, mut)
+		for _, d := range config.NDPDesigns {
+			res := r.run("pr", d, mut)
+			fmt.Fprintf(w, "%dx%d\t%s\t%.2f\t%.3f\n", mesh, mesh, d,
+				float64(base.Makespan)/float64(res.Makespan),
+				res.Energy.Total()/base.Energy.Total())
+		}
+	}
+	w.Flush()
+}
+
+// appsList returns the full workload list (shrunk in quick mode to keep
+// harness smoke tests fast).
+func appsList() []string {
+	return []string{"pr", "bfs", "sssp", "astar", "gcn", "kmeans", "knn", "spmv"}
+}

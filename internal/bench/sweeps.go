@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"fmt"
+
+	"abndp/internal/config"
+)
+
+// Figure11 compares skewed vs identical camp-location mappings (design O):
+// inter-stack hops normalized to the identical mapping.
+func (r *Runner) Figure11() {
+	r.header("Figure 11: Skewed vs identical camp mapping (hops, identical = 1)")
+	w := r.tw()
+	fmt.Fprintf(w, "app\tidentical\tskewed\n")
+	for _, app := range figureApps {
+		ident := r.run(app, config.DesignO, func(c *config.Config) { c.SkewedMapping = false })
+		skew := r.run(app, config.DesignO, nil)
+		fmt.Fprintf(w, "%s\t1.000\t%.3f\n", app,
+			float64(skew.InterHops)/float64(ident.InterHops))
+	}
+	w.Flush()
+}
+
+// campCounts are the Figure 12 sweep values of C.
+var campCounts = []int{1, 3, 7, 15}
+
+// Figure12 sweeps the camp location count C, printing DRAM and
+// interconnect energy normalized to C=1.
+func (r *Runner) Figure12() {
+	r.header("Figure 12: Camp location count C (DRAM + interconnect energy, C=1 = 1)")
+	w := r.tw()
+	fmt.Fprintf(w, "app\tC\tDRAM\tinterconnect\tsum\n")
+	for _, app := range figureApps {
+		mut := func(cc int) func(*config.Config) {
+			return func(c *config.Config) { c.CampCount = cc }
+		}
+		ref := r.run(app, config.DesignO, mut(1))
+		refSum := ref.Energy.DRAM + ref.Energy.Interconnect
+		for _, cc := range campCounts {
+			res := r.run(app, config.DesignO, mut(cc))
+			fmt.Fprintf(w, "%s\t%d\t%.3f\t%.3f\t%.3f\n", app, cc,
+				res.Energy.DRAM/refSum,
+				res.Energy.Interconnect/refSum,
+				(res.Energy.DRAM+res.Energy.Interconnect)/refSum)
+		}
+	}
+	w.Flush()
+}
+
+// Figure13 compares the Traveller Cache against a pure SRAM data cache and
+// a DRAM cache with in-DRAM tags (same capacity): speedup and dynamic DRAM
+// energy normalized to Traveller.
+func (r *Runner) Figure13() {
+	r.header("Figure 13: Cache implementation (normalized to Traveller Cache)")
+	w := r.tw()
+	fmt.Fprintf(w, "app\tkind\tspeedup\tDRAM energy\n")
+	kinds := []struct {
+		label string
+		kind  config.CacheKind
+	}{
+		{"Traveller", config.CacheTraveller},
+		{"SRAM", config.CacheSRAM},
+		{"DRAM-tags", config.CacheDRAMTags},
+	}
+	for _, app := range figureApps {
+		ref := r.run(app, config.DesignO, nil)
+		for _, k := range kinds {
+			kk := k.kind
+			res := r.run(app, config.DesignO, func(c *config.Config) { c.CacheKind = kk })
+			dramRef := ref.Energy.DRAM
+			fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f\n", app, k.label,
+				float64(ref.Makespan)/float64(res.Makespan),
+				res.Energy.DRAM/dramRef)
+		}
+	}
+	w.Flush()
+}
+
+// cacheRatios are the Figure 14 sweep values (cache = 1/R of local DRAM).
+var cacheRatios = []int{512, 256, 128, 64, 32, 16}
+
+// sweepUnitBytes is the per-unit DRAM capacity used by the capacity and
+// associativity sweeps. The bench workloads' per-unit working sets are far
+// below the paper's 512 MB units (which hold GB-scale graph inputs), so
+// the sweeps scale the memory down to keep the cache-size-to-working-set
+// ratios in the same regime the paper explores. Results are normalized
+// within each sweep.
+const sweepUnitBytes = 4 << 20
+
+// Figure14 sweeps the Traveller Cache capacity, printing hops normalized
+// to the smallest cache.
+func (r *Runner) Figure14() {
+	r.header("Figure 14: Traveller Cache capacity (hops, 1/512 = 1)")
+	w := r.tw()
+	fmt.Fprintf(w, "app")
+	for _, ratio := range cacheRatios {
+		fmt.Fprintf(w, "\t1/%d", ratio)
+	}
+	fmt.Fprintln(w)
+	for _, app := range figureApps {
+		mut := func(ratio int) func(*config.Config) {
+			return func(c *config.Config) {
+				c.UnitBytes = sweepUnitBytes
+				c.CacheRatio = ratio
+			}
+		}
+		ref := r.run(app, config.DesignO, mut(cacheRatios[0]))
+		fmt.Fprintf(w, "%s", app)
+		for _, ratio := range cacheRatios {
+			res := r.run(app, config.DesignO, mut(ratio))
+			fmt.Fprintf(w, "\t%.3f", float64(res.InterHops)/float64(ref.InterHops))
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+}
+
+// associativities are the Figure 15 sweep values.
+var associativities = []int{1, 2, 4, 8, 16}
+
+// Figure15 sweeps the cache associativity, printing hops normalized to
+// direct-mapped.
+func (r *Runner) Figure15() {
+	r.header("Figure 15: Traveller Cache associativity (hops, 1-way = 1)")
+	w := r.tw()
+	fmt.Fprintf(w, "app")
+	for _, ways := range associativities {
+		fmt.Fprintf(w, "\t%d-way", ways)
+	}
+	fmt.Fprintln(w)
+	for _, app := range figureApps {
+		mut := func(ways int) func(*config.Config) {
+			return func(c *config.Config) {
+				c.UnitBytes = sweepUnitBytes
+				c.CacheRatio = 512 // small cache so conflicts matter
+				c.CacheWays = ways
+			}
+		}
+		ref := r.run(app, config.DesignO, mut(associativities[0]))
+		fmt.Fprintf(w, "%s", app)
+		for _, ways := range associativities {
+			res := r.run(app, config.DesignO, mut(ways))
+			fmt.Fprintf(w, "\t%.3f", float64(res.InterHops)/float64(ref.InterHops))
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+}
+
+// bypassProbs are the Figure 16 sweep values.
+var bypassProbs = []float64{0, 0.2, 0.4, 0.6, 0.8}
+
+// Figure16 sweeps the probabilistic-insertion bypass probability, printing
+// DRAM and interconnect energy normalized to bypass 0.
+func (r *Runner) Figure16() {
+	r.header("Figure 16: Bypass probability (DRAM + interconnect energy, p=0 = 1)")
+	w := r.tw()
+	fmt.Fprintf(w, "app\tp\tDRAM\tinterconnect\tsum\n")
+	for _, app := range figureApps {
+		mut := func(p float64) func(*config.Config) {
+			return func(c *config.Config) { c.BypassProb = p }
+		}
+		ref := r.run(app, config.DesignO, mut(0))
+		refSum := ref.Energy.DRAM + ref.Energy.Interconnect
+		for _, p := range bypassProbs {
+			res := r.run(app, config.DesignO, mut(p))
+			fmt.Fprintf(w, "%s\t%.1f\t%.3f\t%.3f\t%.3f\n", app, p,
+				res.Energy.DRAM/refSum,
+				res.Energy.Interconnect/refSum,
+				(res.Energy.DRAM+res.Energy.Interconnect)/refSum)
+		}
+	}
+	w.Flush()
+}
+
+// hybridAlphas are the Figure 17 sweep values of B = alpha * Dinter.
+var hybridAlphas = []float64{0, 1, 2, 3, 4, 5, 6}
+
+// Figure17 sweeps the hybrid scheduling weight, printing hops and speedup
+// normalized to alpha = 0 (pure lowest-distance behavior).
+func (r *Runner) Figure17() {
+	r.header("Figure 17: Hybrid weight B = alpha*Dinter (normalized to alpha=0)")
+	w := r.tw()
+	fmt.Fprintf(w, "app\talpha\thops\tspeedup\n")
+	for _, app := range figureApps {
+		mut := func(a float64) func(*config.Config) {
+			return func(c *config.Config) { c.HybridAlpha = a }
+		}
+		ref := r.run(app, config.DesignO, mut(0))
+		for _, a := range hybridAlphas {
+			res := r.run(app, config.DesignO, mut(a))
+			fmt.Fprintf(w, "%s\t%.0f\t%.3f\t%.3f\n", app, a,
+				float64(res.InterHops)/float64(ref.InterHops),
+				float64(ref.Makespan)/float64(res.Makespan))
+		}
+	}
+	w.Flush()
+}
+
+// exchangeIntervals are the Figure 18 sweep values in cycles. The paper
+// sweeps 25k-800k against ~100x longer executions; this range spans the
+// same exchanges-per-run ratios for the bench workload sizes.
+var exchangeIntervals = []int64{1250, 2500, 5000, 10000, 20000, 40000}
+
+// Figure18 sweeps the workload exchange interval, printing speedup
+// normalized to the shortest interval.
+func (r *Runner) Figure18() {
+	r.header("Figure 18: Workload exchange interval (speedup, shortest = 1)")
+	w := r.tw()
+	fmt.Fprintf(w, "app")
+	for _, iv := range exchangeIntervals {
+		fmt.Fprintf(w, "\t%dk", iv/1000)
+	}
+	fmt.Fprintln(w)
+	for _, app := range figureApps {
+		mut := func(iv int64) func(*config.Config) {
+			return func(c *config.Config) { c.ExchangeInterval = iv }
+		}
+		ref := r.run(app, config.DesignO, mut(exchangeIntervals[0]))
+		fmt.Fprintf(w, "%s", app)
+		for _, iv := range exchangeIntervals {
+			res := r.run(app, config.DesignO, mut(iv))
+			fmt.Fprintf(w, "\t%.3f", float64(ref.Makespan)/float64(res.Makespan))
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+}

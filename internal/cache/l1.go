@@ -1,0 +1,93 @@
+// Package cache implements the per-core SRAM structures of an NDP unit:
+// a set-associative LRU L1 cache and the FIFO prefetch buffer that task
+// hints prefetch into (paper §3.2, Table 1).
+package cache
+
+import (
+	"math/bits"
+
+	"abndp/internal/mem"
+)
+
+// L1 is a set-associative cache with LRU replacement, tracking line
+// presence only (the simulator never stores data values in caches).
+type L1 struct {
+	ways    int
+	setMask uint64
+	// sets is a flattened [set][way] array ordered MRU-first within each
+	// set; lines[i] is valid iff valid[i].
+	lines []mem.Line
+	valid []bool
+
+	hits, misses int64
+}
+
+// NewL1 builds a cache of the given capacity in bytes and associativity.
+// The set count is rounded down to a power of two.
+func NewL1(bytes, ways int) *L1 {
+	if ways <= 0 {
+		ways = 1
+	}
+	sets := bytes / mem.LineSize / ways
+	if sets < 1 {
+		sets = 1
+	}
+	sets = 1 << (bits.Len(uint(sets)) - 1)
+	return &L1{
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		lines:   make([]mem.Line, sets*ways),
+		valid:   make([]bool, sets*ways),
+	}
+}
+
+// Sets returns the number of cache sets.
+func (c *L1) Sets() int { return int(c.setMask) + 1 }
+
+// Ways returns the associativity.
+func (c *L1) Ways() int { return c.ways }
+
+// Access looks up line l, returning true on a hit. On a miss the line is
+// inserted, evicting the LRU way of its set. The hit way is promoted to MRU.
+func (c *L1) Access(l mem.Line) bool {
+	base := int(uint64(l)&c.setMask) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.lines[base+w] == l {
+			// Promote to MRU by shifting earlier ways down.
+			copy(c.lines[base+1:base+w+1], c.lines[base:base+w])
+			copy(c.valid[base+1:base+w+1], c.valid[base:base+w])
+			c.lines[base] = l
+			c.valid[base] = true
+			c.hits++
+			return true
+		}
+	}
+	// Miss: insert at MRU, dropping the LRU way.
+	copy(c.lines[base+1:base+c.ways], c.lines[base:base+c.ways-1])
+	copy(c.valid[base+1:base+c.ways], c.valid[base:base+c.ways-1])
+	c.lines[base] = l
+	c.valid[base] = true
+	c.misses++
+	return false
+}
+
+// Contains reports whether line l is cached, without touching LRU state.
+func (c *L1) Contains(l mem.Line) bool {
+	base := int(uint64(l)&c.setMask) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.lines[base+w] == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate clears the whole cache.
+func (c *L1) Invalidate() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *L1) Stats() (hits, misses int64) { return c.hits, c.misses }

@@ -1,0 +1,65 @@
+package cache
+
+import "abndp/internal/mem"
+
+// PrefetchBuffer models the per-unit SRAM prefetch buffer (Table 1: 4 kB,
+// 64 B blocks, FIFO). Each entry records when the prefetched line's
+// transfer completes, so the core can compute its residual stall. Hits in
+// the buffer bypass the L1 caches (paper §3.2).
+type PrefetchBuffer struct {
+	capacity int
+	order    []mem.Line // FIFO order of resident lines
+	ready    map[mem.Line]int64
+}
+
+// NewPrefetchBuffer builds a buffer holding bytes/64 lines.
+func NewPrefetchBuffer(bytes int) *PrefetchBuffer {
+	c := bytes / mem.LineSize
+	if c < 1 {
+		c = 1
+	}
+	return &PrefetchBuffer{
+		capacity: c,
+		ready:    make(map[mem.Line]int64, c),
+	}
+}
+
+// Capacity returns the number of line slots.
+func (b *PrefetchBuffer) Capacity() int { return b.capacity }
+
+// Len returns the number of resident lines.
+func (b *PrefetchBuffer) Len() int { return len(b.order) }
+
+// Lookup returns the completion time of line l's transfer if it is (being)
+// prefetched into the buffer.
+func (b *PrefetchBuffer) Lookup(l mem.Line) (ready int64, ok bool) {
+	ready, ok = b.ready[l]
+	return ready, ok
+}
+
+// Insert records a prefetch of line l completing at the given cycle,
+// evicting the oldest entry when full. Re-inserting a resident line only
+// refreshes its completion time if the new transfer finishes earlier.
+func (b *PrefetchBuffer) Insert(l mem.Line, readyAt int64) {
+	if old, ok := b.ready[l]; ok {
+		if readyAt < old {
+			b.ready[l] = readyAt
+		}
+		return
+	}
+	if len(b.order) >= b.capacity {
+		oldest := b.order[0]
+		b.order = b.order[1:]
+		delete(b.ready, oldest)
+	}
+	b.order = append(b.order, l)
+	b.ready[l] = readyAt
+}
+
+// Invalidate empties the buffer.
+func (b *PrefetchBuffer) Invalidate() {
+	b.order = b.order[:0]
+	for k := range b.ready {
+		delete(b.ready, k)
+	}
+}

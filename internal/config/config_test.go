@@ -1,0 +1,155 @@
+package config
+
+import "testing"
+
+func TestDefaultMatchesTable1(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Default() invalid: %v", err)
+	}
+	if c.Units() != 128 {
+		t.Fatalf("Units() = %d, want 128", c.Units())
+	}
+	if got := uint64(c.Units()) * c.UnitBytes; got != 64<<30 {
+		t.Fatalf("total capacity = %d, want 64 GB", got)
+	}
+	if c.Groups() != 4 {
+		t.Fatalf("Groups() = %d, want 4 (C=3 + home)", c.Groups())
+	}
+	if got := c.CacheBytes(); got != 8<<20 {
+		t.Fatalf("CacheBytes() = %d, want 8 MB", got)
+	}
+}
+
+func TestCycles(t *testing.T) {
+	c := Default() // 2 GHz: 1 cycle = 0.5 ns
+	cases := []struct {
+		ns   float64
+		want int64
+	}{
+		{0, 0},
+		{0.5, 1},
+		{1.5, 3},
+		{10, 20},
+		{17, 34},
+		{0.1, 1}, // sub-cycle rounds up
+	}
+	for _, cse := range cases {
+		if got := c.Cycles(cse.ns); got != cse.want {
+			t.Fatalf("Cycles(%v) = %d, want %d", cse.ns, got, cse.want)
+		}
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	c := Default()
+	if got := c.Seconds(2_000_000_000); got != 1.0 {
+		t.Fatalf("Seconds(2e9) = %v, want 1.0", got)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mod := func(f func(*Config)) Config {
+		c := Default()
+		f(&c)
+		return c
+	}
+	bad := []Config{
+		mod(func(c *Config) { c.MeshX = 0 }),
+		mod(func(c *Config) { c.CoresPerUnit = 0 }),
+		mod(func(c *Config) { c.CoreGHz = 0 }),
+		mod(func(c *Config) { c.UnitBytes = 0 }),
+		mod(func(c *Config) { c.CacheEnabled = true; c.CacheRatio = 1 }),
+		mod(func(c *Config) { c.CacheEnabled = true; c.CacheWays = 0 }),
+		mod(func(c *Config) { c.CampCount = 0 }),
+		mod(func(c *Config) { c.BypassProb = 1.0 }),
+		mod(func(c *Config) { c.BypassProb = -0.1 }),
+		mod(func(c *Config) { c.ExchangeInterval = 0 }),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d: Validate() accepted invalid config", i)
+		}
+	}
+}
+
+func TestDesignStringsRoundTrip(t *testing.T) {
+	for _, d := range AllDesigns {
+		got, err := ParseDesign(d.String())
+		if err != nil {
+			t.Fatalf("ParseDesign(%q): %v", d.String(), err)
+		}
+		if got != d {
+			t.Fatalf("round trip %v -> %v", d, got)
+		}
+	}
+	if _, err := ParseDesign("nope"); err == nil {
+		t.Fatal("ParseDesign accepted junk")
+	}
+}
+
+func TestDesignTable2Matrix(t *testing.T) {
+	type row struct {
+		d      Design
+		cache  bool
+		hybrid bool
+		steal  bool
+	}
+	rows := []row{
+		{DesignH, false, false, false},
+		{DesignB, false, false, false},
+		{DesignSm, false, false, false},
+		{DesignSl, false, false, true},
+		{DesignSh, false, true, false},
+		{DesignC, true, false, false},
+		{DesignO, true, true, false},
+	}
+	for _, r := range rows {
+		if r.d.UsesCache() != r.cache || r.d.UsesHybrid() != r.hybrid || r.d.UsesStealing() != r.steal {
+			t.Fatalf("design %v feature matrix wrong", r.d)
+		}
+	}
+}
+
+func TestDesignApply(t *testing.T) {
+	base := Default()
+	for _, d := range NDPDesigns {
+		c := d.Apply(base)
+		if c.CacheEnabled != d.UsesCache() {
+			t.Fatalf("Apply(%v) CacheEnabled = %v", d, c.CacheEnabled)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if CacheTraveller.String() != "traveller" || CacheSRAM.String() != "sram" ||
+		CacheDRAMTags.String() != "dramtags" {
+		t.Fatal("CacheKind strings wrong")
+	}
+	if CacheKind(99).String() == "" {
+		t.Fatal("unknown CacheKind must still print")
+	}
+	if ReplaceRandom.String() != "random" || ReplaceLRU.String() != "lru" {
+		t.Fatal("Replacement strings wrong")
+	}
+	if Design(99).String() == "" {
+		t.Fatal("unknown Design must still print")
+	}
+	if DesignH.SchedulingName() == "" || DesignB.SchedulingName() == "" {
+		t.Fatal("SchedulingName empty")
+	}
+	for _, d := range AllDesigns {
+		if d.SchedulingName() == "?" {
+			t.Fatalf("SchedulingName(%v) unknown", d)
+		}
+	}
+}
+
+func TestValidateWindowPeriod(t *testing.T) {
+	c := Default()
+	c.SchedulingWindow = 4
+	c.SchedulingPeriod = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("window without a period must be rejected")
+	}
+}

@@ -1,0 +1,95 @@
+package config
+
+import "fmt"
+
+// Design identifies one of the evaluated system designs (Table 2).
+type Design int
+
+const (
+	// DesignH runs the task-based workloads on the host CPU only.
+	DesignH Design = iota
+	// DesignB co-locates each task with its main data element's home.
+	DesignB
+	// DesignSm uses lowest-distance mapping over all hint addresses.
+	DesignSm
+	// DesignSl is lowest-distance mapping plus dynamic work stealing.
+	DesignSl
+	// DesignSh uses the hybrid scheduling policy without DRAM caching.
+	DesignSh
+	// DesignC enables the Traveller Cache with lowest-distance mapping.
+	DesignC
+	// DesignO is full ABNDP: Traveller Cache + hybrid scheduling.
+	DesignO
+)
+
+// AllDesigns lists every design in Table 2 order.
+var AllDesigns = []Design{DesignH, DesignB, DesignSm, DesignSl, DesignSh, DesignC, DesignO}
+
+// NDPDesigns lists the NDP designs (everything except the host-only H).
+var NDPDesigns = []Design{DesignB, DesignSm, DesignSl, DesignSh, DesignC, DesignO}
+
+func (d Design) String() string {
+	switch d {
+	case DesignH:
+		return "H"
+	case DesignB:
+		return "B"
+	case DesignSm:
+		return "Sm"
+	case DesignSl:
+		return "Sl"
+	case DesignSh:
+		return "Sh"
+	case DesignC:
+		return "C"
+	case DesignO:
+		return "O"
+	}
+	return fmt.Sprintf("Design(%d)", int(d))
+}
+
+// ParseDesign converts a design name ("B", "Sm", ...) to a Design.
+func ParseDesign(s string) (Design, error) {
+	for _, d := range AllDesigns {
+		if d.String() == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("config: unknown design %q", s)
+}
+
+// UsesCache reports whether the design enables the distributed DRAM cache.
+func (d Design) UsesCache() bool { return d == DesignC || d == DesignO }
+
+// UsesHybrid reports whether the design uses the hybrid scheduling policy.
+func (d Design) UsesHybrid() bool { return d == DesignSh || d == DesignO }
+
+// UsesStealing reports whether the design uses work stealing.
+func (d Design) UsesStealing() bool { return d == DesignSl }
+
+// SchedulingName returns the Table 2 "Task scheduling" cell for the design.
+func (d Design) SchedulingName() string {
+	switch d {
+	case DesignH:
+		return "Use host CPU only"
+	case DesignB:
+		return "Co-locating with one data element"
+	case DesignSm:
+		return "Lowest-distance"
+	case DesignSl:
+		return "Lowest-distance + work-stealing"
+	case DesignSh:
+		return "Hybrid (ours)"
+	case DesignC:
+		return "Lowest-distance"
+	case DesignO:
+		return "Hybrid (ours)"
+	}
+	return "?"
+}
+
+// Apply returns a copy of cfg specialized for the design (cache on/off).
+func (d Design) Apply(cfg Config) Config {
+	cfg.CacheEnabled = d.UsesCache()
+	return cfg
+}

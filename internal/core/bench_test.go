@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"abndp/internal/mem"
+	"abndp/internal/topology"
+)
+
+func BenchmarkCampLocations(b *testing.B) {
+	e, cm := newEnv(true)
+	totalLines := e.space.TotalBytes() / mem.LineSize
+	buf := make([]topology.UnitID, 0, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = cm.AppendLocations(buf[:0], mem.Line(uint64(i)*977%totalLines))
+	}
+}
+
+func BenchmarkNearest(b *testing.B) {
+	e, cm := newEnv(true)
+	totalLines := e.space.TotalBytes() / mem.LineSize
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm.Nearest(e.noc, mem.Line(uint64(i)*977%totalLines), topology.UnitID(i%128))
+	}
+}
+
+func BenchmarkMemCostCampAware(b *testing.B) {
+	e, cm := newEnv(true)
+	model := NewCostModel(e.noc, cm, true)
+	lines := make([]mem.Line, 16)
+	for i := range lines {
+		lines[i] = mem.Line(i * 131071)
+	}
+	flat, cands := model.Candidates(lines, nil, nil)
+	_ = flat
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.MemCost(cands, topology.UnitID(i%128))
+	}
+}

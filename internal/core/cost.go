@@ -1,0 +1,118 @@
+package core
+
+import (
+	"abndp/internal/mem"
+	"abndp/internal/noc"
+	"abndp/internal/topology"
+)
+
+// CostModel evaluates the scheduling score of Eq. 1:
+//
+//	score(t, u) = costmem(t, u) + B * costload(t, u)
+//
+// costmem (Eq. 2) is the mean one-way interconnect latency from candidate
+// unit u to each accessed line's nearest data location — home only for
+// cache-less designs, or the nearest of home+camps when the policy is
+// camp-aware (the hardware/software co-design of §5.1). costload (Eq. 3)
+// is W_u / mean(W) - 1 from the periodically exchanged load snapshots.
+type CostModel struct {
+	noc       *noc.Model
+	camps     *CampMap
+	campAware bool
+	// campPenalty biases camp locations relative to the home: a camp
+	// access pays the SRAM tag check and risks a miss detour, so a camp
+	// only beats the home when it is meaningfully closer. Without this, a
+	// single-use line's camp ties with its home at distance zero and load
+	// noise scatters tasks onto camps that will never hit.
+	campPenalty int64
+}
+
+// NewCostModel builds a cost model. campAware selects whether costmem may
+// place data at camp locations (designs C-series caching is present *and*
+// the policy knows it — design O) or only at homes (B, Sm, Sl, Sh).
+func NewCostModel(n *noc.Model, camps *CampMap, campAware bool) *CostModel {
+	return &CostModel{
+		noc:         n,
+		camps:       camps,
+		campAware:   campAware,
+		campPenalty: n.InterHopCycles() / 2,
+	}
+}
+
+// CampAware reports whether camp locations participate in costmem.
+func (c *CostModel) CampAware() bool { return c.campAware }
+
+// Candidates resolves each line to its possible data locations, reusing
+// the two provided buffers. The returned outer slice aliases locBuf2D.
+// When not camp-aware each line has exactly one candidate (its home).
+func (c *CostModel) Candidates(lines []mem.Line, flat []topology.UnitID, outer [][]topology.UnitID) ([]topology.UnitID, [][]topology.UnitID) {
+	flat = flat[:0]
+	outer = outer[:0]
+	for _, l := range lines {
+		start := len(flat)
+		if c.campAware {
+			flat = c.camps.AppendLocations(flat, l)
+		} else {
+			flat = append(flat, c.camps.Home(l))
+		}
+		outer = append(outer, flat[start:len(flat):len(flat)])
+	}
+	return flat, outer
+}
+
+// MemCost returns costmem(t, u) in cycles for a task whose accessed lines
+// have the given candidate location sets (from Candidates). The first
+// candidate of each line is its home; the rest are camps and carry the camp
+// penalty.
+func (c *CostModel) MemCost(cands [][]topology.UnitID, u topology.UnitID) float64 {
+	if len(cands) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, locs := range cands {
+		best := c.noc.Latency(u, locs[0])
+		for _, loc := range locs[1:] {
+			if lat := c.noc.Latency(u, loc) + c.campPenalty; lat < best {
+				best = lat
+			}
+		}
+		sum += best
+	}
+	return float64(sum) / float64(len(cands))
+}
+
+// MemCostLines is the convenience form of MemCost for tests and one-off
+// calls; hot paths should reuse buffers via Candidates.
+func (c *CostModel) MemCostLines(lines []mem.Line, u topology.UnitID) float64 {
+	_, cands := c.Candidates(lines, nil, nil)
+	return c.MemCost(cands, u)
+}
+
+// LoadCost returns costload(t, u) = W_u/mean(W) - 1 given the load vector
+// snapshot. A zero mean (fully idle system) yields 0 for every unit.
+func LoadCost(loads []float64, u topology.UnitID) float64 {
+	var sum float64
+	for _, w := range loads {
+		sum += w
+	}
+	if sum <= 0 {
+		return 0
+	}
+	mean := sum / float64(len(loads))
+	return loads[u]/mean - 1
+}
+
+// DefaultHybridWeight returns the paper's default B = D_inter * d/2 where d
+// is the inter-stack mesh diameter: an idle unit may be up to half the
+// maximum hop distance further from the data than the best unit.
+func DefaultHybridWeight(n *noc.Model) float64 {
+	return float64(n.InterHopCycles()) * float64(n.Topology().Diameter()) / 2
+}
+
+// HybridWeight returns B = alpha * D_inter, or the default when alpha < 0.
+func HybridWeight(n *noc.Model, alpha float64) float64 {
+	if alpha < 0 {
+		return DefaultHybridWeight(n)
+	}
+	return alpha * float64(n.InterHopCycles())
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"abndp/internal/mem"
+	"abndp/internal/topology"
+)
+
+func TestMemCostHomeOnly(t *testing.T) {
+	e, cm := newEnv(true)
+	model := NewCostModel(e.noc, cm, false)
+	// One line: cost at the home unit must be 0; anywhere else > 0.
+	l := mem.Line(12345)
+	home := cm.Home(l)
+	if got := model.MemCostLines([]mem.Line{l}, home); got != 0 {
+		t.Fatalf("cost at home = %v, want 0", got)
+	}
+	other := topology.UnitID((int(home) + 64) % e.topo.Units())
+	if got := model.MemCostLines([]mem.Line{l}, other); got <= 0 {
+		t.Fatalf("cost away from home = %v, want > 0", got)
+	}
+}
+
+func TestMemCostCampAwareNeverWorse(t *testing.T) {
+	e, cm := newEnv(true)
+	homeOnly := NewCostModel(e.noc, cm, false)
+	campAware := NewCostModel(e.noc, cm, true)
+	lines := []mem.Line{3, 1 << 20, 7777777, 42424242}
+	for u := 0; u < e.topo.Units(); u += 5 {
+		uid := topology.UnitID(u)
+		ho := homeOnly.MemCostLines(lines, uid)
+		ca := campAware.MemCostLines(lines, uid)
+		if ca > ho {
+			t.Fatalf("unit %d: camp-aware cost %v exceeds home-only %v", u, ca, ho)
+		}
+	}
+}
+
+func TestMemCostIsMeanOverLines(t *testing.T) {
+	e, cm := newEnv(true)
+	model := NewCostModel(e.noc, cm, false)
+	l1, l2 := mem.Line(10), mem.Line(20)
+	u := topology.UnitID(100)
+	c1 := model.MemCostLines([]mem.Line{l1}, u)
+	c2 := model.MemCostLines([]mem.Line{l2}, u)
+	both := model.MemCostLines([]mem.Line{l1, l2}, u)
+	if math.Abs(both-(c1+c2)/2) > 1e-9 {
+		t.Fatalf("MemCost not the mean: %v vs (%v+%v)/2", both, c1, c2)
+	}
+	if model.MemCostLines(nil, u) != 0 {
+		t.Fatal("empty-hint cost should be 0")
+	}
+}
+
+func TestCandidatesShape(t *testing.T) {
+	e, cm := newEnv(true)
+	lines := []mem.Line{1, 2, 3}
+	homeOnly := NewCostModel(e.noc, cm, false)
+	_, cands := homeOnly.Candidates(lines, nil, nil)
+	if len(cands) != 3 {
+		t.Fatalf("candidate sets = %d, want 3", len(cands))
+	}
+	for i, cs := range cands {
+		if len(cs) != 1 || cs[0] != cm.Home(lines[i]) {
+			t.Fatalf("home-only candidates[%d] = %v", i, cs)
+		}
+	}
+	campAware := NewCostModel(e.noc, cm, true)
+	_, cands = campAware.Candidates(lines, nil, nil)
+	for i, cs := range cands {
+		if len(cs) != e.topo.Groups() {
+			t.Fatalf("camp-aware candidates[%d] has %d entries, want %d",
+				i, len(cs), e.topo.Groups())
+		}
+	}
+}
+
+func TestLoadCost(t *testing.T) {
+	loads := []float64{0, 100, 200, 100}
+	// mean = 100
+	if got := LoadCost(loads, 0); got != -1 {
+		t.Fatalf("idle unit cost = %v, want -1", got)
+	}
+	if got := LoadCost(loads, 2); got != 1 {
+		t.Fatalf("2x-loaded unit cost = %v, want 1", got)
+	}
+	if got := LoadCost(loads, 1); got != 0 {
+		t.Fatalf("average unit cost = %v, want 0", got)
+	}
+	if LoadCost([]float64{0, 0}, 1) != 0 {
+		t.Fatal("all-idle system should yield 0 cost")
+	}
+}
+
+func TestHybridWeight(t *testing.T) {
+	e, _ := newEnv(true)
+	// Default: half the diameter (6) = 3 hops * 20 cycles = 60.
+	if got := HybridWeight(e.noc, -1); got != 60 {
+		t.Fatalf("default weight = %v, want 60", got)
+	}
+	if got := HybridWeight(e.noc, 2); got != 40 {
+		t.Fatalf("alpha=2 weight = %v, want 40", got)
+	}
+	if got := HybridWeight(e.noc, 0); got != 0 {
+		t.Fatalf("alpha=0 weight = %v, want 0", got)
+	}
+}

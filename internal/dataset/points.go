@@ -1,0 +1,89 @@
+// Package dataset generates the synthetic non-graph inputs of the
+// evaluation — clustered point sets for kmeans, skewed point sets and
+// queries for knn — and provides the KD-tree those workloads traverse.
+// The paper uses synthetic datasets for kmeans and knn as well (§6).
+package dataset
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Points is an n x dim row-major point set.
+type Points struct {
+	Dim  int
+	Data [][]float32
+}
+
+// Len returns the number of points.
+func (p *Points) Len() int { return len(p.Data) }
+
+// Clustered generates n dim-dimensional points around `clusters` Gaussian
+// centers. skew > 0 makes cluster populations Zipf-distributed (exponent
+// skew), producing the hot regions that stress load balance in knn; skew =
+// 0 splits points evenly (the benign kmeans input).
+func Clustered(n, dim, clusters int, skew float64, seed int64) *Points {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float32, clusters)
+	for c := range centers {
+		centers[c] = make([]float32, dim)
+		for d := 0; d < dim; d++ {
+			centers[c][d] = rng.Float32() * 100
+		}
+	}
+	assign := clusterAssignment(n, clusters, skew, rng)
+	p := &Points{Dim: dim, Data: make([][]float32, n)}
+	for i := 0; i < n; i++ {
+		c := assign[i]
+		pt := make([]float32, dim)
+		for d := 0; d < dim; d++ {
+			pt[d] = centers[c][d] + float32(rng.NormFloat64()*2)
+		}
+		p.Data[i] = pt
+	}
+	return p
+}
+
+// clusterAssignment maps each point to a cluster, Zipf-weighted when
+// skew > 0.
+func clusterAssignment(n, clusters int, skew float64, rng *rand.Rand) []int {
+	out := make([]int, n)
+	if skew <= 0 {
+		for i := range out {
+			out[i] = i % clusters
+		}
+		return out
+	}
+	z := rand.NewZipf(rng, skew+1, 1, uint64(clusters-1))
+	for i := range out {
+		out[i] = int(z.Uint64())
+	}
+	return out
+}
+
+// ZipfIndices draws n indices in [0, max) with Zipf skew s (> 0) — used for
+// the skewed knn query stream.
+func ZipfIndices(n, max int, s float64, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s+1, 1, uint64(max-1))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(z.Uint64())
+	}
+	return out
+}
+
+// Dist2 returns the squared Euclidean distance between two points.
+func Dist2(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between two points.
+func Dist(a, b []float32) float32 {
+	return float32(math.Sqrt(float64(Dist2(a, b))))
+}

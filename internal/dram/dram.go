@@ -1,0 +1,135 @@
+// Package dram models the per-unit DRAM channel: HBM-like bank and row-
+// buffer timing (tRCD/tCAS/tRP from Table 1), channel occupancy with
+// backlog queueing, and access energy (per-bit read/write plus ACT/PRE on
+// row-buffer misses).
+//
+// The model is one channel per NDP unit with a small number of banks, each
+// keeping its last-opened row (open-page policy): a row hit costs tCAS, a
+// row miss tRP + tRCD + tCAS and one activation's energy. What the paper's
+// results depend on most is *where* accesses land — hot home units saturate
+// their channel and queueing delay grows — which the backlog server
+// captures; the row-buffer model refines the latency and the ACT/PRE
+// energy of streaming vs. scattered access patterns.
+package dram
+
+import (
+	"abndp/internal/config"
+	"abndp/internal/mem"
+)
+
+// banks is the number of banks per channel (HBM2-like pseudo-channel).
+const banks = 16
+
+// rowLines is the number of consecutive cachelines per DRAM row (2 KB rows
+// of 64 B lines).
+const rowLines = 32
+
+// Channel is one unit's DRAM channel. It is used single-threaded by the
+// simulation engine.
+//
+// Contention uses a backlog-draining server model: the channel accumulates
+// `occupancy` cycles of work per access and drains one cycle of backlog per
+// elapsed cycle. This keeps queueing proportional to actual utilization —
+// a single-cursor "nextFree" model would let one far-future-timestamped
+// access (the tail of a long transfer chain) reserve the channel and stall
+// every later-issued access across an idle gap.
+type Channel struct {
+	tCAS      int64 // column access (row already open)
+	tRCD      int64 // row activate
+	tRP       int64 // precharge the old row
+	occupancy int64 // cycles one line transfer occupies the channel
+
+	lastT   int64 // time of the most recent arrival
+	backlog int64 // queued work at lastT, in cycles
+
+	openRow [banks]int64 // currently open row per bank; -1 = closed
+
+	linePJ   float64 // energy to move one cacheline over the channel pins
+	actPrePJ float64 // activation + precharge energy per row miss
+
+	rowHits, rowMisses int64
+}
+
+// NewChannel builds a channel from the system configuration.
+func NewChannel(cfg *config.Config) *Channel {
+	ns := float64(mem.LineSize) / cfg.DRAMBusGBs
+	c := &Channel{
+		tCAS:      cfg.Cycles(cfg.TCASns),
+		tRCD:      cfg.Cycles(cfg.TRCDns),
+		tRP:       cfg.Cycles(cfg.TRPns),
+		occupancy: cfg.Cycles(ns),
+		linePJ:    cfg.DRAMPJPerBit * float64(mem.LineSize*8),
+		actPrePJ:  cfg.DRAMActPrePJ,
+	}
+	for b := range c.openRow {
+		c.openRow[b] = -1
+	}
+	return c
+}
+
+// bankAndRow maps a line to its bank and row: consecutive lines share a
+// row; consecutive rows rotate across banks (standard interleave, so
+// streaming accesses hit open rows while banks work in parallel).
+func bankAndRow(l mem.Line) (bank int, row int64) {
+	r := int64(l) / rowLines
+	return int(r % banks), r
+}
+
+// Access issues one cacheline access to line l at cycle now. It returns
+// the total latency until data is available, the queueing component of
+// that latency, and the access energy in picojoules.
+//
+// Arrivals with now earlier than a previous arrival (possible because
+// transfer chains are resolved analytically at issue time) join the queue
+// at the previous arrival's time.
+func (c *Channel) Access(now int64, l mem.Line) (latency, queued int64, energyPJ float64) {
+	if now > c.lastT {
+		c.backlog -= now - c.lastT
+		if c.backlog < 0 {
+			c.backlog = 0
+		}
+		c.lastT = now
+	}
+	queued = c.lastT + c.backlog - now
+
+	bank, row := bankAndRow(l)
+	access := c.tCAS
+	energyPJ = c.linePJ
+	if c.openRow[bank] != row {
+		if c.openRow[bank] != -1 {
+			access += c.tRP // close the old row first
+		}
+		access += c.tRCD
+		energyPJ += c.actPrePJ
+		c.openRow[bank] = row
+		c.rowMisses++
+	} else {
+		c.rowHits++
+	}
+
+	c.backlog += c.occupancy
+	return queued + access + c.occupancy, queued, energyPJ
+}
+
+// WorstAccessCycles returns the unloaded row-miss latency (tRP + tRCD +
+// tCAS + transfer) — the latency bound used by tests and estimators.
+func (c *Channel) WorstAccessCycles() int64 {
+	return c.tRP + c.tRCD + c.tCAS + c.occupancy
+}
+
+// BestAccessCycles returns the unloaded row-hit latency.
+func (c *Channel) BestAccessCycles() int64 { return c.tCAS + c.occupancy }
+
+// RowStats returns cumulative row-buffer hits and misses.
+func (c *Channel) RowStats() (hits, misses int64) { return c.rowHits, c.rowMisses }
+
+// NextFree returns the earliest cycle a new access can start (for tests).
+func (c *Channel) NextFree() int64 { return c.lastT + c.backlog }
+
+// Reset clears channel state between simulation phases if needed.
+func (c *Channel) Reset() {
+	c.lastT, c.backlog = 0, 0
+	for b := range c.openRow {
+		c.openRow[b] = -1
+	}
+}

@@ -1,0 +1,152 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"abndp/internal/config"
+	"abndp/internal/mem"
+)
+
+func newTestChannel() *Channel {
+	cfg := config.Default()
+	return NewChannel(&cfg)
+}
+
+func TestColdAccessLatency(t *testing.T) {
+	c := newTestChannel()
+	// First access to a closed bank: tRCD (34) + tCAS (34) + 8 transfer.
+	lat, q, pj := c.Access(0, 0)
+	if q != 0 {
+		t.Fatalf("first access queued %d cycles, want 0", q)
+	}
+	if lat != 34+34+8 {
+		t.Fatalf("cold latency = %d, want 76", lat)
+	}
+	// Cold access pays activation energy.
+	if want := 535.8 + 5.0*512; pj != want {
+		t.Fatalf("cold energy = %v, want %v", pj, want)
+	}
+}
+
+func TestRowHitIsFasterAndCheaper(t *testing.T) {
+	c := newTestChannel()
+	c.Access(0, 0)
+	lat, _, pj := c.Access(1000, 1) // same row (lines 0..31)
+	if lat != c.BestAccessCycles() {
+		t.Fatalf("row hit latency = %d, want %d", lat, c.BestAccessCycles())
+	}
+	if pj != 5.0*512 {
+		t.Fatalf("row hit energy = %v, want %v (no ACT/PRE)", pj, 5.0*512)
+	}
+	h, m := c.RowStats()
+	if h != 1 || m != 1 {
+		t.Fatalf("row stats = %d/%d, want 1/1", h, m)
+	}
+}
+
+func TestRowConflictPaysPrecharge(t *testing.T) {
+	c := newTestChannel()
+	c.Access(0, 0) // opens bank 0, row 0
+	// Line in the same bank, different row: banks*rowLines lines later.
+	conflict := mem.Line(banks * rowLines)
+	lat, _, _ := c.Access(1000, conflict)
+	if lat != c.WorstAccessCycles() {
+		t.Fatalf("row conflict latency = %d, want %d", lat, c.WorstAccessCycles())
+	}
+}
+
+func TestBankInterleaving(t *testing.T) {
+	// Consecutive rows land on different banks, so a row-sized stride
+	// never conflicts within the first `banks` rows.
+	seen := map[int]bool{}
+	for r := 0; r < banks; r++ {
+		b, _ := bankAndRow(mem.Line(r * rowLines))
+		if seen[b] {
+			t.Fatalf("rows map to duplicate bank %d before all banks used", b)
+		}
+		seen[b] = true
+	}
+}
+
+func TestStreamingMostlyRowHits(t *testing.T) {
+	c := newTestChannel()
+	for i := 0; i < 1024; i++ {
+		c.Access(int64(i*100), mem.Line(i))
+	}
+	h, m := c.RowStats()
+	// 1024 lines / 32 per row = 32 activations.
+	if m != 32 {
+		t.Fatalf("streaming misses = %d, want 32", m)
+	}
+	if h != 1024-32 {
+		t.Fatalf("streaming hits = %d, want %d", h, 1024-32)
+	}
+}
+
+func TestQueueingUnderBurst(t *testing.T) {
+	c := newTestChannel()
+	var lastQ int64 = -1
+	for i := 0; i < 10; i++ {
+		_, q, _ := c.Access(0, mem.Line(i*999))
+		if q < lastQ {
+			t.Fatalf("queueing should be non-decreasing for a same-cycle burst")
+		}
+		lastQ = q
+	}
+	if lastQ == 0 {
+		t.Fatal("burst never queued")
+	}
+}
+
+func TestBacklogDrains(t *testing.T) {
+	c := newTestChannel()
+	for i := 0; i < 10; i++ {
+		c.Access(0, mem.Line(i*999))
+	}
+	// Long after the burst, the channel must be idle again.
+	_, q, _ := c.Access(100000, 0)
+	if q != 0 {
+		t.Fatalf("idle channel queued %d cycles", q)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := newTestChannel()
+	c.Access(0, 0)
+	c.Reset()
+	if c.NextFree() != 0 {
+		t.Fatal("Reset did not clear channel state")
+	}
+	// After reset the bank is closed again: cold latency.
+	lat, _, _ := c.Access(0, 1)
+	if lat != 34+34+8 {
+		t.Fatalf("post-reset latency = %d, want cold 76", lat)
+	}
+}
+
+// Property: latency is always bounded by [best, worst] plus queueing, and
+// the queue component is exactly the difference from the service time.
+func TestLatencyBounds(t *testing.T) {
+	f := func(lines []uint32, gaps []uint8) bool {
+		c := newTestChannel()
+		now := int64(0)
+		for i, l := range lines {
+			if i < len(gaps) {
+				now += int64(gaps[i])
+			}
+			lat, q, _ := c.Access(now, mem.Line(l))
+			service := lat - q
+			if service < c.BestAccessCycles() || service > c.WorstAccessCycles() {
+				return false
+			}
+			if q < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+// Package energy provides the four-component energy accounting used in the
+// paper's Figure 7: NDP cores + SRAM, DRAM (memory + cache), interconnect
+// transfers, and static energy. All values are picojoules.
+package energy
+
+// Breakdown is an energy tally split by component, in picojoules.
+type Breakdown struct {
+	CoreSRAM     float64 // core dynamic + L1/prefetch-buffer/tag SRAM accesses
+	DRAM         float64 // DRAM reads/writes + cache insertions + ACT/PRE
+	Interconnect float64 // intra-stack and inter-stack transfers
+	Static       float64 // idle/leakage over the execution time
+}
+
+// Add accumulates o into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.CoreSRAM += o.CoreSRAM
+	b.DRAM += o.DRAM
+	b.Interconnect += o.Interconnect
+	b.Static += o.Static
+}
+
+// Total returns the sum of all components.
+func (b Breakdown) Total() float64 {
+	return b.CoreSRAM + b.DRAM + b.Interconnect + b.Static
+}
+
+// Scale returns b with every component multiplied by f.
+func (b Breakdown) Scale(f float64) Breakdown {
+	return Breakdown{
+		CoreSRAM:     b.CoreSRAM * f,
+		DRAM:         b.DRAM * f,
+		Interconnect: b.Interconnect * f,
+		Static:       b.Static * f,
+	}
+}
+
+// NormalizedTo returns b with each component divided by ref's total,
+// producing the normalized stacked bars of Figure 7.
+func (b Breakdown) NormalizedTo(ref Breakdown) Breakdown {
+	t := ref.Total()
+	if t == 0 {
+		return Breakdown{}
+	}
+	return b.Scale(1 / t)
+}
+
+// Joules converts the total from picojoules to joules.
+func (b Breakdown) Joules() float64 { return b.Total() * 1e-12 }

@@ -1,0 +1,75 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndTotal(t *testing.T) {
+	var b Breakdown
+	b.Add(Breakdown{CoreSRAM: 1, DRAM: 2, Interconnect: 3, Static: 4})
+	b.Add(Breakdown{CoreSRAM: 10, DRAM: 20, Interconnect: 30, Static: 40})
+	if b.Total() != 110 {
+		t.Fatalf("Total() = %v, want 110", b.Total())
+	}
+	if b.CoreSRAM != 11 || b.DRAM != 22 || b.Interconnect != 33 || b.Static != 44 {
+		t.Fatalf("component accumulation wrong: %+v", b)
+	}
+}
+
+func TestScale(t *testing.T) {
+	b := Breakdown{CoreSRAM: 2, DRAM: 4, Interconnect: 6, Static: 8}
+	s := b.Scale(0.5)
+	if s.Total() != 10 {
+		t.Fatalf("scaled total = %v, want 10", s.Total())
+	}
+}
+
+func TestNormalizedTo(t *testing.T) {
+	ref := Breakdown{CoreSRAM: 25, DRAM: 25, Interconnect: 25, Static: 25}
+	b := Breakdown{CoreSRAM: 50, DRAM: 0, Interconnect: 0, Static: 0}
+	n := b.NormalizedTo(ref)
+	if n.Total() != 0.5 {
+		t.Fatalf("normalized total = %v, want 0.5", n.Total())
+	}
+	if (Breakdown{}).NormalizedTo(Breakdown{}).Total() != 0 {
+		t.Fatal("zero-ref normalization should be zero")
+	}
+}
+
+func TestJoules(t *testing.T) {
+	b := Breakdown{DRAM: 1e12}
+	if b.Joules() != 1 {
+		t.Fatalf("Joules() = %v, want 1", b.Joules())
+	}
+}
+
+// Property: Add is commutative and Total is linear.
+func TestAdditivityProperty(t *testing.T) {
+	f := func(a, b [4]float32) bool {
+		mk := func(v [4]float32) Breakdown {
+			return Breakdown{
+				CoreSRAM:     math.Abs(float64(v[0])),
+				DRAM:         math.Abs(float64(v[1])),
+				Interconnect: math.Abs(float64(v[2])),
+				Static:       math.Abs(float64(v[3])),
+			}
+		}
+		x, y := mk(a), mk(b)
+		var s1, s2 Breakdown
+		s1.Add(x)
+		s1.Add(y)
+		s2.Add(y)
+		s2.Add(x)
+		const eps = 1e-6
+		rel := func(p, q float64) bool {
+			d := math.Abs(p - q)
+			return d <= eps*(1+math.Abs(p)+math.Abs(q))
+		}
+		return rel(s1.Total(), s2.Total()) && rel(s1.Total(), x.Total()+y.Total())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+package graph
+
+import "container/heap"
+
+// Reference algorithms: straightforward sequential implementations used to
+// validate the task-based workload ports and as building blocks for the
+// host baseline.
+
+// BFSLevels returns the BFS level of every vertex from src (-1 when
+// unreachable).
+func BFSLevels(g *CSR, src int) []int32 {
+	level := make([]int32, g.N)
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	frontier := []int32{int32(src)}
+	for d := int32(1); len(frontier) > 0; d++ {
+		var next []int32
+		for _, v := range frontier {
+			for _, nb := range g.Neighbors(int(v)) {
+				if level[nb] < 0 {
+					level[nb] = d
+					next = append(next, nb)
+				}
+			}
+		}
+		frontier = next
+	}
+	return level
+}
+
+const inf = float32(1e30)
+
+// Inf is the "unreachable" distance sentinel shared with the workloads.
+func Inf() float32 { return inf }
+
+// Dijkstra returns shortest-path distances from src over g.W.
+func Dijkstra(g *CSR, src int) []float32 {
+	dist := make([]float32, g.N)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	pq := &distHeap{{int32(src), 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		nbs := g.Neighbors(int(it.v))
+		ws := g.Weights(int(it.v))
+		for i, nb := range nbs {
+			if nd := it.d + ws[i]; nd < dist[nb] {
+				dist[nb] = nd
+				heap.Push(pq, distItem{nb, nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distItem struct {
+	v int32
+	d float32
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// PageRankRef computes iters rounds of synchronous PageRank with damping
+// alpha, returning the final ranks. Dangling mass is redistributed
+// uniformly, matching the task-based implementation.
+func PageRankRef(g *CSR, alpha float64, iters int) []float64 {
+	n := g.N
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for i := range cur {
+		cur[i] = 1 / float64(n)
+	}
+	// Reverse adjacency: contributions flow along in-edges; build once.
+	rev := reverse(g)
+	for it := 0; it < iters; it++ {
+		var dangling float64
+		for v := 0; v < n; v++ {
+			if g.Degree(v) == 0 {
+				dangling += cur[v]
+			}
+		}
+		for v := 0; v < n; v++ {
+			var sum float64
+			for _, u := range rev.Neighbors(v) {
+				sum += cur[u] / float64(g.Degree(int(u)))
+			}
+			next[v] = alpha*(sum+dangling/float64(n)) + (1-alpha)/float64(n)
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// reverse returns the transpose of g (unweighted).
+func reverse(g *CSR) *CSR {
+	src := make([]int32, len(g.Col))
+	dst := make([]int32, len(g.Col))
+	k := 0
+	for v := 0; v < g.N; v++ {
+		for _, nb := range g.Neighbors(v) {
+			src[k] = nb
+			dst[k] = int32(v)
+			k++
+		}
+	}
+	return FromEdges(g.N, src, dst, nil)
+}
+
+// Reverse exposes the transpose for workloads that pull along in-edges.
+func Reverse(g *CSR) *CSR { return reverse(g) }

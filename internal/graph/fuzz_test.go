@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadEdgeList checks the edge-list loader never panics and that any
+// graph it accepts passes structural validation.
+func FuzzLoadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# c\n5 5 2.5\n")
+	f.Add("")
+	f.Add("1 2 3 4 5\n")
+	f.Add("-1 -2\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := LoadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted graph fails validation: %v (input %q)", verr, in)
+		}
+	})
+}
+
+// FuzzLoadMatrixMarket checks the MatrixMarket loader never panics and that
+// accepted matrices validate.
+func FuzzLoadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n1 2\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate real general\n0 0 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := LoadMatrixMarket(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted matrix fails validation: %v (input %q)", verr, in)
+		}
+	})
+}

@@ -1,0 +1,227 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEdges(t *testing.T) {
+	g := FromEdges(3, []int32{0, 0, 1, 2}, []int32{2, 1, 2, 0}, nil)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != 2 || g.Degree(1) != 1 || g.Degree(2) != 1 {
+		t.Fatalf("degrees wrong: %d %d %d", g.Degree(0), g.Degree(1), g.Degree(2))
+	}
+	nb := g.Neighbors(0)
+	if nb[0] != 1 || nb[1] != 2 {
+		t.Fatalf("adjacency not sorted: %v", nb)
+	}
+}
+
+func TestFromEdgesWeightsStayAligned(t *testing.T) {
+	// Vertex 0 -> {5 (w=50), 2 (w=20), 9 (w=90)}; sorting must keep pairs.
+	g := FromEdges(10, []int32{0, 0, 0}, []int32{5, 2, 9}, []float32{50, 20, 90})
+	nbs, ws := g.Neighbors(0), g.Weights(0)
+	for i, nb := range nbs {
+		if ws[i] != float32(nb*10) {
+			t.Fatalf("weight misaligned: edge to %d has weight %v", nb, ws[i])
+		}
+	}
+}
+
+func TestRMATProperties(t *testing.T) {
+	g := RMAT(10, 8, 42)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 1024 || g.Edges() != 1024*8 {
+		t.Fatalf("size = %d/%d", g.N, g.Edges())
+	}
+	// Power-law skew: the max degree must far exceed the average.
+	if g.MaxDegree() < 4*8 {
+		t.Fatalf("max degree %d too small for a power-law graph", g.MaxDegree())
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a, b := RMAT(8, 4, 7), RMAT(8, 4, 7)
+	if a.Edges() != b.Edges() {
+		t.Fatal("edge counts differ")
+	}
+	for i := range a.Col {
+		if a.Col[i] != b.Col[i] {
+			t.Fatal("RMAT not deterministic for equal seeds")
+		}
+	}
+	c := RMAT(8, 4, 8)
+	differs := false
+	for i := range a.Col {
+		if a.Col[i] != c.Col[i] {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds gave identical graphs")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	g := Uniform(100, 5, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N; v++ {
+		if g.Degree(v) != 5 {
+			t.Fatalf("vertex %d degree %d, want 5", v, g.Degree(v))
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(4, 3, 1, 10)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 12 {
+		t.Fatalf("N = %d, want 12", g.N)
+	}
+	// Corner (0,0) has exactly 2 neighbors; interior (1,1) has 4.
+	if g.Degree(0) != 2 {
+		t.Fatalf("corner degree = %d, want 2", g.Degree(0))
+	}
+	if g.Degree(5) != 4 {
+		t.Fatalf("interior degree = %d, want 4", g.Degree(5))
+	}
+	for _, w := range g.W {
+		if w < 1 || w >= 10 {
+			t.Fatalf("weight %v outside [1,10)", w)
+		}
+	}
+}
+
+func TestBFSLevelsChain(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3, plus unreachable 4.
+	g := FromEdges(5, []int32{0, 1, 2}, []int32{1, 2, 3}, nil)
+	lv := BFSLevels(g, 0)
+	want := []int32{0, 1, 2, 3, -1}
+	for i := range want {
+		if lv[i] != want[i] {
+			t.Fatalf("levels = %v, want %v", lv, want)
+		}
+	}
+}
+
+func TestDijkstraSmall(t *testing.T) {
+	// 0 -(1)-> 1 -(1)-> 2 and 0 -(5)-> 2: shortest to 2 is 2.
+	g := FromEdges(3, []int32{0, 1, 0}, []int32{1, 2, 2}, []float32{1, 1, 5})
+	d := Dijkstra(g, 0)
+	if d[0] != 0 || d[1] != 1 || d[2] != 2 {
+		t.Fatalf("distances = %v", d)
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := FromEdges(3, []int32{0}, []int32{1}, []float32{1})
+	d := Dijkstra(g, 0)
+	if d[2] != Inf() {
+		t.Fatalf("unreachable distance = %v, want Inf", d[2])
+	}
+}
+
+func TestPageRankRefSumsToOne(t *testing.T) {
+	g := RMAT(8, 8, 5)
+	pr := PageRankRef(g, 0.85, 10)
+	var sum float64
+	for _, p := range pr {
+		sum += p
+		if p < 0 {
+			t.Fatal("negative rank")
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ranks sum to %v, want 1", sum)
+	}
+}
+
+func TestPageRankRefRingUniform(t *testing.T) {
+	// On a directed ring every vertex has identical rank 1/n.
+	n := 16
+	src := make([]int32, n)
+	dst := make([]int32, n)
+	for i := 0; i < n; i++ {
+		src[i], dst[i] = int32(i), int32((i+1)%n)
+	}
+	g := FromEdges(n, src, dst, nil)
+	pr := PageRankRef(g, 0.85, 30)
+	for i, p := range pr {
+		if math.Abs(p-1/float64(n)) > 1e-9 {
+			t.Fatalf("ring rank[%d] = %v, want %v", i, p, 1/float64(n))
+		}
+	}
+}
+
+func TestReverseIsInvolution(t *testing.T) {
+	g := RMAT(7, 4, 9)
+	rr := Reverse(Reverse(g))
+	if rr.N != g.N || rr.Edges() != g.Edges() {
+		t.Fatal("double reverse changed size")
+	}
+	for v := 0; v < g.N; v++ {
+		a, b := g.Neighbors(v), rr.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree changed", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d adjacency changed", v)
+			}
+		}
+	}
+}
+
+// Property: BFS levels increase by exactly one across tree edges and any
+// edge spans at most one level.
+func TestBFSLevelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := Uniform(200, 3, seed)
+		lv := BFSLevels(g, 0)
+		for v := 0; v < g.N; v++ {
+			if lv[v] < 0 {
+				continue
+			}
+			for _, nb := range g.Neighbors(v) {
+				if lv[nb] < 0 || lv[nb] > lv[v]+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dijkstra satisfies the triangle/relaxation condition on every
+// edge: d[v] + w(v,u) >= d[u].
+func TestDijkstraRelaxationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := Grid(8, 8, seed, 9)
+		d := Dijkstra(g, 0)
+		for v := 0; v < g.N; v++ {
+			ws := g.Weights(v)
+			for i, nb := range g.Neighbors(v) {
+				if d[v] != Inf() && d[v]+ws[i] < d[nb]-1e-4 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

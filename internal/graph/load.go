@@ -1,0 +1,179 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// File loaders for the dataset formats the paper evaluates on: SNAP
+// edge-list text files for the graph workloads and Matrix Market (.mtx)
+// files from the UFlorida collection for spmv. The built-in R-MAT inputs
+// are the default; pass Params.GraphPath to run on a real dataset.
+
+// LoadEdgeList reads a SNAP-style edge list: one "src dst [weight]" pair
+// per line, '#' or '%' comment lines ignored, vertices remapped to a dense
+// [0, n) range in first-appearance order. Weights are optional; if any
+// line carries a third column, missing weights default to 1.
+func LoadEdgeList(r io.Reader) (*CSR, error) {
+	var src, dst []int32
+	var wts []float32
+	sawWeight := false
+	ids := make(map[int64]int32)
+	intern := func(raw int64) int32 {
+		if id, ok := ids[raw]; ok {
+			return id
+		}
+		id := int32(len(ids))
+		ids[raw] = id
+		return id
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: edge list line %d: %q", lineNo, line)
+		}
+		a, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge list line %d: %v", lineNo, err)
+		}
+		b, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge list line %d: %v", lineNo, err)
+		}
+		src = append(src, intern(a))
+		dst = append(dst, intern(b))
+		if len(fields) >= 3 {
+			w, err := strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: edge list line %d: %v", lineNo, err)
+			}
+			// Backfill default weights for earlier weightless lines.
+			for len(wts) < len(src)-1 {
+				wts = append(wts, 1)
+			}
+			wts = append(wts, float32(w))
+			sawWeight = true
+		} else if sawWeight {
+			wts = append(wts, 1)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(src) == 0 {
+		return nil, fmt.Errorf("graph: edge list has no edges")
+	}
+	if !sawWeight {
+		wts = nil
+	}
+	return FromEdges(len(ids), src, dst, wts), nil
+}
+
+// LoadMatrixMarket reads a Matrix Market coordinate file (the UFlorida
+// sparse-matrix format): rows become vertices, columns their neighbors,
+// entries the edge weights. Pattern matrices get weight 1; "symmetric"
+// matrices are expanded. Only "matrix coordinate" files are supported.
+func LoadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph: empty MatrixMarket file")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("graph: unsupported MatrixMarket header %q", sc.Text())
+	}
+	pattern := header[3] == "pattern"
+	symmetric := len(header) >= 5 && header[4] == "symmetric"
+
+	// Skip comments, read the size line.
+	var nRows, nCols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &nRows, &nCols, &nnz); err != nil {
+			return nil, fmt.Errorf("graph: MatrixMarket size line %q: %v", line, err)
+		}
+		break
+	}
+	if nRows <= 0 {
+		return nil, fmt.Errorf("graph: MatrixMarket missing size line")
+	}
+	n := nRows
+	if nCols > n {
+		n = nCols
+	}
+
+	var src, dst []int32
+	var wts []float32
+	add := func(i, j int32, w float32) {
+		src = append(src, i)
+		dst = append(dst, j)
+		wts = append(wts, w)
+	}
+	read := 0
+	for sc.Scan() && read < nnz {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: MatrixMarket entry %q", line)
+		}
+		i, err1 := strconv.Atoi(fields[0])
+		j, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil || i < 1 || j < 1 || i > n || j > n {
+			return nil, fmt.Errorf("graph: MatrixMarket entry %q out of range", line)
+		}
+		w := float32(1)
+		if !pattern && len(fields) >= 3 {
+			v, err := strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: MatrixMarket entry %q: %v", line, err)
+			}
+			w = float32(v)
+		}
+		add(int32(i-1), int32(j-1), w)
+		if symmetric && i != j {
+			add(int32(j-1), int32(i-1), w)
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("graph: MatrixMarket has %d entries, header says %d", read, nnz)
+	}
+	return FromEdges(n, src, dst, wts), nil
+}
+
+// LoadFile loads a graph by file extension: ".mtx" as Matrix Market,
+// anything else as a SNAP edge list.
+func LoadFile(path string) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(strings.ToLower(path), ".mtx") {
+		return LoadMatrixMarket(f)
+	}
+	return LoadEdgeList(f)
+}

@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadEdgeList(t *testing.T) {
+	in := `# SNAP-style comment
+% another comment
+0 1
+1 2
+2 0
+5 0
+`
+	g, err := LoadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Vertices remapped densely: 0,1,2,5 -> 4 vertices.
+	if g.N != 4 {
+		t.Fatalf("N = %d, want 4", g.N)
+	}
+	if g.Edges() != 4 {
+		t.Fatalf("edges = %d, want 4", g.Edges())
+	}
+	if g.W != nil {
+		t.Fatal("unweighted list produced weights")
+	}
+}
+
+func TestLoadEdgeListWeighted(t *testing.T) {
+	in := "0 1 2.5\n1 2\n2 0 7\n"
+	g, err := LoadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.W == nil {
+		t.Fatal("weighted list lost weights")
+	}
+	// Missing weights default to 1.
+	found := map[float32]bool{}
+	for _, w := range g.W {
+		found[w] = true
+	}
+	for _, want := range []float32{2.5, 1, 7} {
+		if !found[want] {
+			t.Fatalf("weight %v missing (have %v)", want, g.W)
+		}
+	}
+}
+
+func TestLoadEdgeListErrors(t *testing.T) {
+	for _, in := range []string{"", "# only comments\n", "1\n", "a b\n", "1 2 x\n"} {
+		if _, err := LoadEdgeList(strings.NewReader(in)); err == nil {
+			t.Fatalf("LoadEdgeList accepted %q", in)
+		}
+	}
+}
+
+func TestLoadMatrixMarket(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% UF-style comment
+3 3 4
+1 1 5.0
+1 2 1.5
+2 3 -2
+3 1 4
+`
+	g, err := LoadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.Edges() != 4 {
+		t.Fatalf("shape = %d vertices %d edges", g.N, g.Edges())
+	}
+	// Row 0 (1-based row 1): entries at columns 0 and 1.
+	if g.Degree(0) != 2 {
+		t.Fatalf("row 0 degree = %d, want 2", g.Degree(0))
+	}
+	ws := g.Weights(0)
+	if ws[0] != 5.0 || ws[1] != 1.5 {
+		t.Fatalf("row 0 weights = %v", ws)
+	}
+}
+
+func TestLoadMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern symmetric
+2 2 2
+1 2
+2 2
+`
+	g, err := LoadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1,2) expands to both directions; (2,2) is a diagonal, not doubled.
+	if g.Edges() != 3 {
+		t.Fatalf("edges = %d, want 3", g.Edges())
+	}
+	if g.W[0] != 1 {
+		t.Fatal("pattern matrix weights must default to 1")
+	}
+}
+
+func TestLoadMatrixMarketErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n", // short
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n9 9 1\n", // out of range
+	}
+	for _, in := range bad {
+		if _, err := LoadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Fatalf("LoadMatrixMarket accepted %q", in)
+		}
+	}
+}
+
+func TestLoadFileDispatch(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/g.mtx"); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

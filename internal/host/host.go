@@ -1,0 +1,97 @@
+// Package host models the non-NDP baseline H of Table 2: the same
+// task-based workloads on a server-class CPU (16 out-of-order cores at
+// 2.6 GHz, 20 MB last-level cache, 4 channels of DDR4-2400).
+//
+// The paper's H appears only as a scalar performance bar, so a roofline
+// estimate suffices: execution time is the maximum of the compute bound
+// (instructions over aggregate issue throughput) and the memory bound
+// (DRAM traffic after LLC filtering over effective memory bandwidth).
+// Inputs come from a functional characterization of the workload
+// (ndp.RunFunctional), which counts the same instructions the NDP timing
+// model charges.
+package host
+
+import "abndp/internal/ndp"
+
+// Config describes the host CPU.
+type Config struct {
+	Cores int
+	GHz   float64
+	// IPC is the effective per-core instructions per cycle; out-of-order
+	// cores sustain well above the in-order NDP cores' 1.0 on these
+	// pointer-chasing workloads, but far below peak issue width.
+	IPC      float64
+	LLCBytes float64
+	// MemBWGBs is peak DRAM bandwidth; EffBW derates it for the random
+	// 64 B accesses these workloads perform.
+	MemBWGBs float64
+	EffBW    float64
+	// Latency-bound regime parameters: irregular pointer-chasing code is
+	// limited by access latency over achievable memory-level parallelism
+	// long before it saturates bandwidth.
+	LLCLatNS float64 // average hit latency once the working set spills L2
+	MemLatNS float64 // DRAM access latency
+	MLP      float64 // outstanding misses an OoO core sustains on this code
+}
+
+// Default returns the §6 host configuration.
+func Default() Config {
+	return Config{
+		Cores:    16,
+		GHz:      2.6,
+		IPC:      2.0,
+		LLCBytes: 20 << 20,
+		MemBWGBs: 76.8, // 4 x DDR4-2400
+		EffBW:    0.6,  // random-access efficiency
+		LLCLatNS: 15,
+		MemLatNS: 90,
+		MLP:      8,
+	}
+}
+
+// Result is the host execution estimate.
+type Result struct {
+	Seconds     float64
+	MemoryBound bool // limited by memory (latency or bandwidth), not issue
+	TrafficGB   float64
+}
+
+// Run estimates the execution time of a workload characterized by fr as
+// the maximum of three bounds: instruction issue, memory bandwidth, and
+// access latency over the cores' aggregate memory-level parallelism.
+func Run(cfg Config, fr *ndp.FunctionalResult) Result {
+	computeSec := float64(fr.Instructions) /
+		(cfg.IPC * cfg.GHz * 1e9 * float64(cfg.Cores))
+
+	// LLC filtering: cold misses bring in the footprint once; the
+	// remaining accesses hit with probability LLC/footprint (capacity
+	// model for a working set with uniform reuse).
+	footprintBytes := float64(fr.Footprint) * 64
+	accessBytes := float64(fr.LineAccesses) * 64
+	traffic := footprintBytes
+	if footprintBytes > cfg.LLCBytes && accessBytes > footprintBytes {
+		missRate := 1 - cfg.LLCBytes/footprintBytes
+		traffic += (accessBytes - footprintBytes) * missRate
+	}
+	bwSec := traffic / (cfg.MemBWGBs * cfg.EffBW * 1e9)
+
+	// Latency bound: every primary-data access costs at least an LLC hit
+	// (DRAM when it is part of the filtered traffic), amortized over the
+	// per-core MLP.
+	memAccesses := traffic / 64
+	llcAccesses := float64(fr.LineAccesses) - memAccesses
+	if llcAccesses < 0 {
+		llcAccesses = 0
+	}
+	latSec := (llcAccesses*cfg.LLCLatNS + memAccesses*cfg.MemLatNS) * 1e-9 /
+		(cfg.MLP * float64(cfg.Cores))
+
+	r := Result{TrafficGB: traffic / 1e9, Seconds: computeSec}
+	if bwSec > r.Seconds {
+		r.Seconds, r.MemoryBound = bwSec, true
+	}
+	if latSec > r.Seconds {
+		r.Seconds, r.MemoryBound = latSec, true
+	}
+	return r
+}

@@ -1,0 +1,65 @@
+package host
+
+import (
+	"testing"
+
+	"abndp/internal/ndp"
+)
+
+func TestComputeBound(t *testing.T) {
+	cfg := Default()
+	fr := &ndp.FunctionalResult{
+		Instructions: 1e12,
+		LineAccesses: 10,
+		Footprint:    10,
+	}
+	r := Run(cfg, fr)
+	if r.MemoryBound {
+		t.Fatal("instruction-heavy workload should be compute bound")
+	}
+	want := 1e12 / (2.0 * 2.6e9 * 16)
+	if r.Seconds != want {
+		t.Fatalf("Seconds = %v, want %v", r.Seconds, want)
+	}
+}
+
+func TestMemoryBound(t *testing.T) {
+	cfg := Default()
+	fr := &ndp.FunctionalResult{
+		Instructions: 1000,
+		LineAccesses: 1 << 30, // 64 GiB of line accesses
+		Footprint:    1 << 26, // 4 GiB footprint >> LLC
+	}
+	r := Run(cfg, fr)
+	if !r.MemoryBound {
+		t.Fatal("access-heavy workload should be memory bound")
+	}
+	if r.TrafficGB <= 0 {
+		t.Fatal("traffic not accounted")
+	}
+}
+
+func TestSmallFootprintStaysInLLC(t *testing.T) {
+	cfg := Default()
+	// Footprint below LLC: traffic is just the cold misses, regardless of
+	// access count.
+	fr := &ndp.FunctionalResult{
+		Instructions: 1,
+		LineAccesses: 1 << 24,
+		Footprint:    1000,
+	}
+	r := Run(cfg, fr)
+	wantTraffic := 1000 * 64.0 / 1e9
+	if r.TrafficGB != wantTraffic {
+		t.Fatalf("TrafficGB = %v, want %v (cold misses only)", r.TrafficGB, wantTraffic)
+	}
+}
+
+func TestMoreTrafficTakesLonger(t *testing.T) {
+	cfg := Default()
+	small := Run(cfg, &ndp.FunctionalResult{LineAccesses: 1 << 22, Footprint: 1 << 21})
+	big := Run(cfg, &ndp.FunctionalResult{LineAccesses: 1 << 26, Footprint: 1 << 25})
+	if big.Seconds <= small.Seconds {
+		t.Fatal("host time must grow with memory traffic")
+	}
+}

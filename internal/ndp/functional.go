@@ -1,0 +1,63 @@
+package ndp
+
+import (
+	"abndp/internal/config"
+	"abndp/internal/mem"
+	"abndp/internal/task"
+)
+
+// FunctionalResult characterizes a workload independent of any timing
+// model: total instructions, primary-data line accesses, distinct-line
+// footprint, and task/step counts. internal/host consumes it for the
+// design-H roofline model; tests use it as a semantics reference.
+type FunctionalResult struct {
+	Instructions int64
+	LineAccesses int64
+	Footprint    int64 // distinct primary-data lines touched
+	Tasks        int64
+	Steps        int64
+}
+
+// RunFunctional executes app's task graph directly, without simulating the
+// NDP hardware. Apps observe identical semantics to a simulated run (the
+// same Setup / Execute / EndTimestamp sequence), so app state afterwards is
+// a valid reference output.
+func RunFunctional(cfg config.Config, app App) *FunctionalResult {
+	// The System provides Setup with the address space; its engine and
+	// units are never exercised here.
+	sys := NewSystem(cfg, config.DesignB)
+	sys.app = app
+	app.Setup(sys)
+
+	var pending []*task.Task
+	app.InitialTasks(func(t *task.Task) {
+		t.TS = 0
+		pending = append(pending, t)
+	})
+
+	res := &FunctionalResult{}
+	seen := make(map[mem.Line]struct{})
+	ts := int64(0)
+	for len(pending) > 0 {
+		batch := pending
+		pending = nil
+		for _, t := range batch {
+			ctx := &ExecCtx{sys: sys}
+			res.Instructions += app.Execute(t, ctx)
+			res.LineAccesses += int64(len(t.Hint.Lines))
+			for _, l := range t.Hint.Lines {
+				seen[l] = struct{}{}
+			}
+			res.Tasks++
+			for _, c := range ctx.children {
+				c.TS = t.TS + 1
+				pending = append(pending, c)
+			}
+		}
+		app.EndTimestamp(ts)
+		ts++
+		res.Steps++
+	}
+	res.Footprint = int64(len(seen))
+	return res
+}

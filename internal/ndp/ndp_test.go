@@ -1,0 +1,267 @@
+package ndp
+
+import (
+	"math/rand"
+	"testing"
+
+	"abndp/internal/config"
+	"abndp/internal/mem"
+	"abndp/internal/task"
+)
+
+// synthApp is a minimal workload: one task per element per timestamp. Each
+// task reads its own 16-byte element plus the elements of `fanout` pseudo-
+// random neighbors (skewed toward low element IDs when zipf is set) and
+// costs instrsPer instructions.
+type synthApp struct {
+	n, fanout int
+	steps     int64
+	instrsPer int64
+	zipf      bool
+	seed      int64
+
+	arr      *mem.Array
+	executed map[int]int64 // element -> times executed
+}
+
+func (a *synthApp) Name() string { return "synth" }
+
+func (a *synthApp) Setup(sys *System) {
+	a.arr = sys.Space.NewArray("elems", a.n, 16, mem.Interleave)
+	a.executed = make(map[int]int64, a.n)
+}
+
+func (a *synthApp) neighbors(elem int) []int {
+	rng := rand.New(rand.NewSource(a.seed + int64(elem)))
+	out := make([]int, a.fanout)
+	for i := range out {
+		if a.zipf {
+			// Skew: ~75% of references hit the lowest 1/16 of elements.
+			if rng.Intn(4) != 0 {
+				out[i] = rng.Intn(a.n/16 + 1)
+			} else {
+				out[i] = rng.Intn(a.n)
+			}
+		} else {
+			out[i] = rng.Intn(a.n)
+		}
+	}
+	return out
+}
+
+func (a *synthApp) hint(elem int) task.Hint {
+	lines := []mem.Line{a.arr.LineOf(elem)}
+	for _, nb := range a.neighbors(elem) {
+		lines = a.arr.AppendLines(lines, nb)
+	}
+	return task.Hint{Lines: lines}
+}
+
+func (a *synthApp) InitialTasks(emit func(*task.Task)) {
+	for i := 0; i < a.n; i++ {
+		emit(&task.Task{Elem: i, Hint: a.hint(i)})
+	}
+}
+
+func (a *synthApp) Execute(t *task.Task, ctx *ExecCtx) int64 {
+	a.executed[t.Elem]++
+	if t.TS+1 < a.steps {
+		ctx.Enqueue(&task.Task{Elem: t.Elem, Hint: a.hint(t.Elem)})
+	}
+	return a.instrsPer
+}
+
+func (a *synthApp) EndTimestamp(int64) {}
+
+func smallCfg() config.Config {
+	cfg := config.Default()
+	cfg.MeshX, cfg.MeshY = 2, 2
+	cfg.UnitBytes = 16 << 20 // keep camp caches small and fast to build
+	return cfg
+}
+
+func newSynth(n int, zipf bool) *synthApp {
+	return &synthApp{n: n, fanout: 6, steps: 2, instrsPer: 60, zipf: zipf, seed: 7}
+}
+
+func runOne(t *testing.T, cfg config.Config, d config.Design, app App) *Result {
+	t.Helper()
+	sys := NewSystem(cfg, d)
+	res := sys.Run(app)
+	if res == nil {
+		t.Fatalf("design %v: nil result", d)
+	}
+	return res
+}
+
+func TestAllDesignsCompleteAllTasks(t *testing.T) {
+	cfg := smallCfg()
+	for _, d := range config.NDPDesigns {
+		app := newSynth(512, true)
+		res := runOne(t, cfg, d, app)
+		if res.Tasks != 1024 {
+			t.Fatalf("%v: executed %d tasks, want 1024", d, res.Tasks)
+		}
+		if res.Steps != 2 {
+			t.Fatalf("%v: %d steps, want 2", d, res.Steps)
+		}
+		for e, n := range app.executed {
+			if n != 2 {
+				t.Fatalf("%v: element %d executed %d times, want 2", d, e, n)
+			}
+		}
+		if res.Makespan <= 0 {
+			t.Fatalf("%v: makespan = %d", d, res.Makespan)
+		}
+		if res.Energy.Total() <= 0 {
+			t.Fatalf("%v: zero energy", d)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := smallCfg()
+	for _, d := range []config.Design{config.DesignB, config.DesignSl, config.DesignO} {
+		r1 := runOne(t, cfg, d, newSynth(512, true))
+		r2 := runOne(t, cfg, d, newSynth(512, true))
+		if r1.Makespan != r2.Makespan || r1.InterHops != r2.InterHops {
+			t.Fatalf("%v: nondeterministic (makespan %d vs %d, hops %d vs %d)",
+				d, r1.Makespan, r2.Makespan, r1.InterHops, r2.InterHops)
+		}
+		if r1.Energy.Total() != r2.Energy.Total() {
+			t.Fatalf("%v: nondeterministic energy", d)
+		}
+	}
+}
+
+func TestLowestDistanceReducesHops(t *testing.T) {
+	cfg := smallCfg()
+	rB := runOne(t, cfg, config.DesignB, newSynth(1024, false))
+	rSm := runOne(t, cfg, config.DesignSm, newSynth(1024, false))
+	if rSm.InterHops > rB.InterHops {
+		t.Fatalf("Sm hops (%d) should not exceed B hops (%d)", rSm.InterHops, rB.InterHops)
+	}
+}
+
+func TestWorkStealingActivates(t *testing.T) {
+	cfg := smallCfg()
+	app := newSynth(1024, true)
+	res := runOne(t, cfg, config.DesignSl, app)
+	var stolen int64
+	for i := range res.Stats.Units {
+		stolen += res.Stats.Units[i].TasksStolenIn
+	}
+	if stolen == 0 {
+		t.Fatal("work stealing never stole a task under a skewed workload")
+	}
+}
+
+func TestStealingImprovesBalanceOverSm(t *testing.T) {
+	cfg := smallCfg()
+	rSm := runOne(t, cfg, config.DesignSm, newSynth(2048, true))
+	rSl := runOne(t, cfg, config.DesignSl, newSynth(2048, true))
+	if rSl.Stats.ImbalanceRatio() >= rSm.Stats.ImbalanceRatio() {
+		t.Fatalf("Sl imbalance %.2f should be below Sm %.2f",
+			rSl.Stats.ImbalanceRatio(), rSm.Stats.ImbalanceRatio())
+	}
+	if rSl.InterHops <= rSm.InterHops {
+		t.Fatalf("Sl hops (%d) should exceed Sm hops (%d): stealing moves tasks off their data",
+			rSl.InterHops, rSm.InterHops)
+	}
+}
+
+func TestTravellerCacheReducesHops(t *testing.T) {
+	cfg := smallCfg()
+	rSm := runOne(t, cfg, config.DesignSm, newSynth(2048, true))
+	rC := runOne(t, cfg, config.DesignC, newSynth(2048, true))
+	if rC.InterHops >= rSm.InterHops {
+		t.Fatalf("C hops (%d) should be below Sm hops (%d): camp caching shortens reuse paths",
+			rC.InterHops, rSm.InterHops)
+	}
+	if rC.Stats.CacheHitRate() <= 0 {
+		t.Fatal("design C never hit the Traveller cache on a skewed workload")
+	}
+}
+
+func TestCacheDisabledHasNoCacheTraffic(t *testing.T) {
+	cfg := smallCfg()
+	res := runOne(t, cfg, config.DesignB, newSynth(256, false))
+	for i := range res.Stats.Units {
+		u := &res.Stats.Units[i]
+		if u.CacheHits+u.CacheMisses+u.CacheInserts != 0 {
+			t.Fatalf("unit %d has cache traffic under a cache-less design", i)
+		}
+	}
+}
+
+func TestActiveCyclesBounded(t *testing.T) {
+	cfg := smallCfg()
+	res := runOne(t, cfg, config.DesignO, newSynth(1024, true))
+	for i := range res.Stats.Units {
+		for ci, c := range res.Stats.Units[i].ActiveCycles {
+			if c < 0 || c > res.Makespan {
+				t.Fatalf("unit %d core %d active %d cycles outside [0, makespan=%d]",
+					i, ci, c, res.Makespan)
+			}
+		}
+	}
+}
+
+func TestEnergyComponentsAllPresent(t *testing.T) {
+	cfg := smallCfg()
+	res := runOne(t, cfg, config.DesignO, newSynth(1024, true))
+	e := res.Energy
+	if e.CoreSRAM <= 0 || e.DRAM <= 0 || e.Interconnect <= 0 || e.Static <= 0 {
+		t.Fatalf("missing energy component: %+v", e)
+	}
+}
+
+func TestRunFunctionalMatchesSimulatedSemantics(t *testing.T) {
+	cfg := smallCfg()
+	fApp := newSynth(512, true)
+	fr := RunFunctional(cfg, fApp)
+	if fr.Tasks != 1024 || fr.Steps != 2 {
+		t.Fatalf("functional: tasks=%d steps=%d", fr.Tasks, fr.Steps)
+	}
+	if fr.Instructions != 1024*60 {
+		t.Fatalf("functional instructions = %d, want %d", fr.Instructions, 1024*60)
+	}
+	sApp := newSynth(512, true)
+	runOne(t, cfg, config.DesignO, sApp)
+	for e, n := range fApp.executed {
+		if sApp.executed[e] != n {
+			t.Fatalf("element %d: functional %d executions vs simulated %d",
+				e, n, sApp.executed[e])
+		}
+	}
+	if fr.Footprint <= 0 || fr.LineAccesses < fr.Footprint {
+		t.Fatalf("footprint accounting wrong: %+v", fr)
+	}
+}
+
+func TestHybridBalancesSkewedLoad(t *testing.T) {
+	cfg := smallCfg()
+	// Make tasks expensive so imbalance is visible in cycles.
+	mk := func() *synthApp {
+		a := newSynth(2048, true)
+		a.instrsPer = 200
+		return a
+	}
+	rSm := runOne(t, cfg, config.DesignSm, mk())
+	rSh := runOne(t, cfg, config.DesignSh, mk())
+	if rSh.Stats.ImbalanceRatio() >= rSm.Stats.ImbalanceRatio() {
+		t.Fatalf("Sh imbalance %.2f should improve on Sm %.2f",
+			rSh.Stats.ImbalanceRatio(), rSm.Stats.ImbalanceRatio())
+	}
+}
+
+func TestFullScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 4x4 system in -short mode")
+	}
+	cfg := config.Default()
+	res := runOne(t, cfg, config.DesignO, newSynth(4096, true))
+	if res.Tasks != 8192 {
+		t.Fatalf("tasks = %d, want 8192", res.Tasks)
+	}
+}

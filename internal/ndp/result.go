@@ -1,0 +1,54 @@
+package ndp
+
+import (
+	"abndp/internal/config"
+	"abndp/internal/energy"
+	"abndp/internal/stats"
+)
+
+// Result summarizes one simulated run.
+type Result struct {
+	App    string
+	Design config.Design
+
+	Makespan int64   // execution cycles
+	Seconds  float64 // Makespan in wall-clock seconds at the core clock
+	Tasks    int64
+	Steps    int64 // bulk-synchronous timestamps executed
+
+	InterHops int64 // Figure 8 metric
+	Energy    energy.Breakdown
+
+	Stats *stats.System
+}
+
+// finalize folds static energy and per-core counters into the statistics
+// and produces the Result.
+func (s *System) finalize() *Result {
+	secs := s.Cfg.Seconds(s.Stats.Makespan)
+	staticPerUnit := s.Cfg.CoreIdleWatt * 1e12 * secs * float64(s.Cfg.CoresPerUnit)
+	for i := range s.Stats.Units {
+		st := &s.Stats.Units[i]
+		st.Energy.Static += staticPerUnit
+		for ci, c := range s.units[i].cores {
+			st.ActiveCycles[ci] = c.activeCycles
+		}
+		if h, m := s.units[i].l1.Stats(); true {
+			st.L1Hits, st.L1Misses = h, m
+		}
+		if c := s.units[i].cache; c != nil {
+			st.CacheHits, st.CacheMisses, st.CacheInserts, st.CacheBypasses = c.Stats()
+		}
+	}
+	return &Result{
+		App:       s.app.Name(),
+		Design:    s.Design,
+		Makespan:  s.Stats.Makespan,
+		Seconds:   secs,
+		Tasks:     s.Stats.Tasks,
+		Steps:     s.Stats.Steps,
+		InterHops: s.Stats.TotalInterHops(),
+		Energy:    s.Stats.TotalEnergy(),
+		Stats:     s.Stats,
+	}
+}

@@ -1,0 +1,54 @@
+package ndp
+
+import "abndp/internal/topology"
+
+// TaskTrace describes one completed task for external analysis tooling
+// (cmd/abndpsim -trace). It is emitted at task completion time.
+type TaskTrace struct {
+	TS     int64           `json:"ts"`     // timestamp (bulk-sync phase)
+	Cycle  int64           `json:"cycle"`  // completion cycle
+	Unit   topology.UnitID `json:"unit"`   // executing unit
+	Origin topology.UnitID `json:"origin"` // scheduling origin
+	Kind   int             `json:"kind"`
+	Elem   int             `json:"elem"`
+	Dur    int64           `json:"dur"`   // total duration in cycles
+	Stall  int64           `json:"stall"` // residual prefetch stall
+	Lines  int             `json:"lines"` // hinted cachelines
+	Stolen bool            `json:"stolen,omitempty"`
+}
+
+// SetTaskTracer installs a callback invoked once per completed task. Pass
+// nil to disable. Tracing is off by default and costs nothing when off.
+func (s *System) SetTaskTracer(f func(TaskTrace)) { s.tracer = f }
+
+// SetUtilizationSampling records the busy-core count every interval cycles
+// into Stats.Timeline. Off by default.
+func (s *System) SetUtilizationSampling(interval int64) {
+	if interval <= 0 {
+		return
+	}
+	s.Stats.TimelineInterval = interval
+	s.sampleUtil = true
+}
+
+// scheduleUtilSample arms the next utilization sample.
+func (s *System) scheduleUtilSample() {
+	if !s.sampleUtil {
+		return
+	}
+	s.Engine.After(s.Stats.TimelineInterval, func() {
+		if s.finished {
+			return
+		}
+		busy := 0
+		for _, u := range s.units {
+			for _, c := range u.cores {
+				if c.busy {
+					busy++
+				}
+			}
+		}
+		s.Stats.Timeline = append(s.Stats.Timeline, busy)
+		s.scheduleUtilSample()
+	})
+}

@@ -1,0 +1,100 @@
+// Package noc models the two-level interconnect cost of moving messages
+// between NDP units: a crossbar inside each stack and a 2-D mesh between
+// stacks (Table 1: intra 1.5 ns/hop, 0.4 pJ/bit; inter 10 ns/hop, 4 pJ/bit).
+//
+// A message between units in different stacks pays one crossbar traversal
+// at each end plus one mesh hop per Manhattan step between the stacks.
+package noc
+
+import (
+	"abndp/internal/config"
+	"abndp/internal/topology"
+)
+
+// Message sizes in bytes. A control message carries a request or a task
+// descriptor; a data message carries one cacheline plus its header.
+const (
+	CtrlBytes = 16
+	DataBytes = 80 // 64 B line + 16 B header
+)
+
+// Model computes latency, hop counts, and energy for unit-to-unit messages.
+type Model struct {
+	topo        *topology.Topology
+	units       int
+	intraCycles int64
+	interCycles int64 // per mesh hop
+	intraPJBit  float64
+	interPJBit  float64 // per mesh hop
+	// latTable is the precomputed unit-to-unit one-way latency, flattened
+	// [from*units + to]. Task scoring evaluates it units x lines x camps
+	// times per task, so it must be a single indexed load.
+	latTable []int32
+}
+
+// New builds the interconnect model for a topology and configuration.
+func New(topo *topology.Topology, cfg *config.Config) *Model {
+	m := &Model{
+		topo:        topo,
+		units:       topo.Units(),
+		intraCycles: cfg.Cycles(cfg.IntraHopNS),
+		interCycles: cfg.Cycles(cfg.InterHopNS),
+		intraPJBit:  cfg.IntraPJPerBit,
+		interPJBit:  cfg.InterPJPerBit,
+	}
+	m.latTable = make([]int32, m.units*m.units)
+	for a := 0; a < m.units; a++ {
+		for b := 0; b < m.units; b++ {
+			m.latTable[a*m.units+b] = int32(m.latency(topology.UnitID(a), topology.UnitID(b)))
+		}
+	}
+	return m
+}
+
+// Hops returns the inter-stack mesh hops between the stacks of two units —
+// the paper's remote-access metric (Figure 8). Zero for same-stack.
+func (m *Model) Hops(from, to topology.UnitID) int {
+	return m.topo.InterHops(from, to)
+}
+
+// Latency returns the one-way message latency in cycles. Zero when from ==
+// to; one crossbar traversal within a stack; crossbar at each end plus mesh
+// hops across stacks.
+func (m *Model) Latency(from, to topology.UnitID) int64 {
+	return int64(m.latTable[int(from)*m.units+int(to)])
+}
+
+func (m *Model) latency(from, to topology.UnitID) int64 {
+	if from == to {
+		return 0
+	}
+	if m.topo.SameStack(from, to) {
+		return m.intraCycles
+	}
+	hops := int64(m.topo.InterHops(from, to))
+	return 2*m.intraCycles + hops*m.interCycles
+}
+
+// Energy returns the energy in picojoules of moving a message of the given
+// size from one unit to another.
+func (m *Model) Energy(from, to topology.UnitID, bytes int) float64 {
+	if from == to {
+		return 0
+	}
+	bits := float64(bytes * 8)
+	if m.topo.SameStack(from, to) {
+		return bits * m.intraPJBit
+	}
+	hops := float64(m.topo.InterHops(from, to))
+	return bits * (2*m.intraPJBit + hops*m.interPJBit)
+}
+
+// InterHopCycles returns the per-hop latency of the inter-stack mesh,
+// i.e. the D_inter constant of the scheduling cost model (Eq. 2).
+func (m *Model) InterHopCycles() int64 { return m.interCycles }
+
+// IntraCycles returns the crossbar traversal latency, i.e. D_intra.
+func (m *Model) IntraCycles() int64 { return m.intraCycles }
+
+// Topology returns the topology the model was built over.
+func (m *Model) Topology() *topology.Topology { return m.topo }

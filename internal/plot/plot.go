@@ -1,0 +1,387 @@
+// Package plot renders the benchmark harness's figures as standalone SVG
+// files. The marks follow a fixed spec: bars at most 24px thick with a 4px
+// rounded data-end and a square baseline, 2px surface gaps between touching
+// marks, 2px lines with >=8px end markers ringed in the surface color,
+// hairline solid gridlines, a legend for two or more series, and text in
+// ink tokens (never the series hue). Series colors come from a validated
+// categorical palette and are assigned in fixed order by entity (a design
+// keeps its hue in every figure). Exports are light-mode; the companion
+// text tables printed by cmd/abndpbench are the table view that backs the
+// low-contrast palette slots.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Surface and ink tokens (light mode).
+const (
+	surface       = "#fcfcfb"
+	textPrimary   = "#0b0b0b"
+	textSecondary = "#52514e"
+	gridline      = "#e7e6e2" // one step off-surface, hairline
+)
+
+// Palette is the validated categorical palette (light mode), in its fixed
+// CVD-safe order. Series take slots in order; callers must keep an entity
+// on the same slot across figures.
+var Palette = []string{
+	"#2a78d6", // blue
+	"#1baf7a", // aqua
+	"#eda100", // yellow
+	"#008300", // green
+	"#4a3aa7", // violet
+	"#e34948", // red
+	"#e87ba4", // magenta
+	"#eb6834", // orange
+}
+
+// Series is one named sequence of values across the chart's categories.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart is the shared description consumed by the Bar, StackedBar, and
+// Line renderers.
+type Chart struct {
+	Title      string
+	Subtitle   string
+	YLabel     string
+	Categories []string // x-axis category labels
+	Series     []Series
+	// Width and Height of the SVG in px; defaults 720x360.
+	Width, Height int
+}
+
+func (c *Chart) size() (w, h int) {
+	w, h = c.Width, c.Height
+	if w == 0 {
+		w = 720
+	}
+	if h == 0 {
+		h = 360
+	}
+	return w, h
+}
+
+func (c *Chart) validate() error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	if len(c.Series) > len(Palette) {
+		return fmt.Errorf("plot: chart %q has %d series; the palette ceiling is %d — fold the tail or facet",
+			c.Title, len(c.Series), len(Palette))
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.Categories) {
+			return fmt.Errorf("plot: chart %q series %q has %d values for %d categories",
+				c.Title, s.Name, len(s.Values), len(c.Categories))
+		}
+	}
+	return nil
+}
+
+// niceTicks returns ~n clean axis ticks covering [0, max].
+func niceTicks(max float64, n int) []float64 {
+	if max <= 0 {
+		return []float64{0, 1}
+	}
+	raw := max / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	ticks := []float64{0}
+	for v := step; ; v += step {
+		ticks = append(ticks, v)
+		if v >= max {
+			break
+		}
+	}
+	return ticks
+}
+
+// fmtTick renders a tick value compactly (1,000-style commas for integers,
+// trimmed decimals otherwise).
+func fmtTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		s := fmt.Sprintf("%d", int64(v))
+		// Thousands commas.
+		neg := strings.HasPrefix(s, "-")
+		if neg {
+			s = s[1:]
+		}
+		var parts []string
+		for len(s) > 3 {
+			parts = append([]string{s[len(s)-3:]}, parts...)
+			s = s[:len(s)-3]
+		}
+		parts = append([]string{s}, parts...)
+		out := strings.Join(parts, ",")
+		if neg {
+			out = "-" + out
+		}
+		return out
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+}
+
+// esc escapes text for SVG.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// svgWriter accumulates SVG fragments.
+type svgWriter struct {
+	b strings.Builder
+}
+
+func (w *svgWriter) f(format string, args ...interface{}) {
+	fmt.Fprintf(&w.b, format, args...)
+	w.b.WriteByte('\n')
+}
+
+// frame emits the document open, surface, title block, and returns the
+// plot rectangle.
+func (w *svgWriter) frame(c *Chart) (px, py, pw, ph float64) {
+	width, height := c.size()
+	w.f(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, sans-serif">`,
+		width, height, width, height)
+	w.f(`<rect width="%d" height="%d" fill="%s"/>`, width, height, surface)
+	w.f(`<text x="16" y="24" font-size="15" font-weight="600" fill="%s">%s</text>`, textPrimary, esc(c.Title))
+	top := 36.0
+	if c.Subtitle != "" {
+		w.f(`<text x="16" y="42" font-size="12" fill="%s">%s</text>`, textSecondary, esc(c.Subtitle))
+		top = 54
+	}
+	// Legend strip for >= 2 series; a single series is named by the title.
+	if len(c.Series) >= 2 {
+		x := 16.0
+		for i, s := range c.Series {
+			w.f(`<rect x="%.1f" y="%.1f" width="10" height="10" rx="2" fill="%s"/>`, x, top, Palette[i])
+			w.f(`<text x="%.1f" y="%.1f" font-size="11" fill="%s">%s</text>`, x+14, top+9, textSecondary, esc(s.Name))
+			x += 14 + float64(7*len(s.Name)) + 16
+		}
+		top += 22
+	}
+	left, right, bottom := 56.0, 16.0, 40.0
+	return left, top + 6, float64(width) - left - right, float64(height) - top - 6 - bottom
+}
+
+// yAxis draws gridlines and tick labels for [0, max] and returns the scale.
+func (w *svgWriter) yAxis(c *Chart, px, py, pw, ph, max float64) func(v float64) float64 {
+	ticks := niceTicks(max, 4)
+	top := ticks[len(ticks)-1]
+	scale := func(v float64) float64 { return py + ph - v/top*ph }
+	for _, t := range ticks {
+		y := scale(t)
+		w.f(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+			px, y, px+pw, y, gridline)
+		w.f(`<text x="%.1f" y="%.1f" font-size="10" text-anchor="end" fill="%s">%s</text>`,
+			px-6, y+3, textSecondary, fmtTick(t))
+	}
+	if c.YLabel != "" {
+		w.f(`<text x="%.1f" y="%.1f" font-size="10" fill="%s">%s</text>`,
+			px, py-8, textSecondary, esc(c.YLabel))
+	}
+	return scale
+}
+
+// xLabels draws the category labels, thinning them on dense axes so they
+// never collide.
+func (w *svgWriter) xLabels(c *Chart, px, py, pw, ph float64) {
+	n := len(c.Categories)
+	every := 1
+	if n > 12 {
+		every = (n + 7) / 8
+	}
+	for i, label := range c.Categories {
+		if i%every != 0 && i != n-1 {
+			continue
+		}
+		x := px + (float64(i)+0.5)*pw/float64(n)
+		w.f(`<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle" fill="%s">%s</text>`,
+			x, py+ph+16, textPrimary, esc(label))
+	}
+}
+
+func (w *svgWriter) close() string {
+	w.f(`</svg>`)
+	return w.b.String()
+}
+
+// roundedBar emits a bar with a 4px rounded data-end and square baseline.
+func (w *svgWriter) roundedBar(x, yTop, width, height float64, color, tooltip string) {
+	r := 4.0
+	if height < 2*r {
+		r = height / 2
+	}
+	if height <= 0 {
+		return
+	}
+	w.f(`<path d="M%.1f,%.1f L%.1f,%.1f Q%.1f,%.1f %.1f,%.1f L%.1f,%.1f Q%.1f,%.1f %.1f,%.1f L%.1f,%.1f Z" fill="%s"><title>%s</title></path>`,
+		x, yTop+height, // baseline left
+		x, yTop+r,
+		x, yTop, x+r, yTop,
+		x+width-r, yTop,
+		x+width, yTop, x+width, yTop+r,
+		x+width, yTop+height,
+		color, esc(tooltip))
+}
+
+// maxValue returns the largest value across all series (>= 0).
+func maxValue(c *Chart) float64 {
+	var m float64
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// Bar renders a grouped bar chart.
+func Bar(c *Chart) (string, error) {
+	if err := c.validate(); err != nil {
+		return "", err
+	}
+	w := &svgWriter{}
+	px, py, pw, ph := w.frame(c)
+	scale := w.yAxis(c, px, py, pw, ph, maxValue(c))
+	w.xLabels(c, px, py, pw, ph)
+
+	groups := len(c.Categories)
+	nser := len(c.Series)
+	band := pw / float64(groups)
+	const gap = 2.0 // surface gap between touching bars
+	barW := (band*0.8 - gap*float64(nser-1)) / float64(nser)
+	if barW > 24 {
+		barW = 24
+	}
+	total := barW*float64(nser) + gap*float64(nser-1)
+	for g := 0; g < groups; g++ {
+		start := px + float64(g)*band + (band-total)/2
+		for si, s := range c.Series {
+			v := s.Values[g]
+			yTop := scale(v)
+			x := start + float64(si)*(barW+gap)
+			tip := fmt.Sprintf("%s — %s: %s", c.Categories[g], s.Name, fmtTick(v))
+			w.roundedBar(x, yTop, barW, py+ph-yTop, Palette[si], tip)
+		}
+	}
+	return w.close(), nil
+}
+
+// StackedBar renders a stacked bar chart (series are the stack segments).
+func StackedBar(c *Chart) (string, error) {
+	if err := c.validate(); err != nil {
+		return "", err
+	}
+	// Stack totals set the axis.
+	var maxTotal float64
+	for g := range c.Categories {
+		var t float64
+		for _, s := range c.Series {
+			t += s.Values[g]
+		}
+		if t > maxTotal {
+			maxTotal = t
+		}
+	}
+	w := &svgWriter{}
+	px, py, pw, ph := w.frame(c)
+	scale := w.yAxis(c, px, py, pw, ph, maxTotal)
+	w.xLabels(c, px, py, pw, ph)
+
+	band := pw / float64(len(c.Categories))
+	barW := band * 0.6
+	if barW > 24 {
+		barW = 24
+	}
+	const gap = 2.0 // surface gap between stacked segments
+	for g := range c.Categories {
+		x := px + (float64(g)+0.5)*band - barW/2
+		base := py + ph
+		for si, s := range c.Series {
+			v := s.Values[g]
+			if v <= 0 {
+				continue
+			}
+			hPix := (py + ph) - scale(v)
+			yTop := base - hPix
+			seg := hPix - gap
+			if seg < 1 {
+				seg = 1
+			}
+			tip := fmt.Sprintf("%s — %s: %s", c.Categories[g], s.Name, fmtTick(v))
+			// Interior segments are square; only the stack's top segment
+			// gets the rounded data-end.
+			if si == len(c.Series)-1 {
+				w.roundedBar(x, yTop, barW, seg, Palette[si], tip)
+			} else {
+				w.f(`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s</title></rect>`,
+					x, yTop, barW, seg, Palette[si], esc(tip))
+			}
+			base = yTop
+		}
+	}
+	return w.close(), nil
+}
+
+// Line renders a multi-series line chart over the categories.
+func Line(c *Chart) (string, error) {
+	if err := c.validate(); err != nil {
+		return "", err
+	}
+	w := &svgWriter{}
+	px, py, pw, ph := w.frame(c)
+	scale := w.yAxis(c, px, py, pw, ph, maxValue(c))
+	w.xLabels(c, px, py, pw, ph)
+
+	n := len(c.Categories)
+	xAt := func(i int) float64 { return px + (float64(i)+0.5)*pw/float64(n) }
+
+	// Collision-aware direct end labels: label an endpoint only when it
+	// is far enough from already-labeled neighbors; the legend carries
+	// the rest.
+	var labeled []float64
+	for si, s := range c.Series {
+		var pts []string
+		for i, v := range s.Values {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xAt(i), scale(v)))
+		}
+		w.f(`<polyline points="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round" stroke-linecap="round"><title>%s</title></polyline>`,
+			strings.Join(pts, " "), Palette[si], esc(s.Name))
+		// End marker: >= 8px with a 2px surface ring.
+		endY := scale(s.Values[n-1])
+		w.f(`<circle cx="%.1f" cy="%.1f" r="4" fill="%s" stroke="%s" stroke-width="2"><title>%s: %s</title></circle>`,
+			xAt(n-1), endY, Palette[si], surface, esc(s.Name), fmtTick(s.Values[n-1]))
+		collides := false
+		for _, y := range labeled {
+			if math.Abs(y-endY) < 12 {
+				collides = true
+				break
+			}
+		}
+		if !collides && len(c.Series) <= 4 {
+			w.f(`<text x="%.1f" y="%.1f" font-size="10" fill="%s">%s</text>`,
+				xAt(n-1)+8, endY+3, textSecondary, esc(s.Name))
+			labeled = append(labeled, endY)
+		}
+	}
+	return w.close(), nil
+}

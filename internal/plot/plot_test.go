@@ -1,0 +1,250 @@
+package plot
+
+import (
+	"encoding/xml"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testChart() *Chart {
+	return &Chart{
+		Title:      "Speedup",
+		Subtitle:   "normalized to B",
+		YLabel:     "speedup",
+		Categories: []string{"pr", "bfs", "spmv"},
+		Series: []Series{
+			{Name: "B", Values: []float64{1, 1, 1}},
+			{Name: "O", Values: []float64{1.2, 1.16, 1.15}},
+		},
+	}
+}
+
+// wellFormed checks the SVG parses as XML.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestBarRendersWellFormedSVG(t *testing.T) {
+	svg, err := Bar(testChart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	for _, want := range []string{"Speedup", "normalized to B", "<path", "<title>", Palette[0], Palette[1]} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("bar SVG missing %q", want)
+		}
+	}
+}
+
+func TestLineRendersMarkersAndRing(t *testing.T) {
+	svg, err := Line(testChart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	if !strings.Contains(svg, `stroke-width="2" stroke-linejoin="round"`) {
+		t.Fatal("line series must be 2px with round joins")
+	}
+	if !strings.Contains(svg, `r="4"`) || !strings.Contains(svg, `stroke="#fcfcfb" stroke-width="2"`) {
+		t.Fatal("end markers must be >=8px with a 2px surface ring")
+	}
+}
+
+func TestStackedBarSegments(t *testing.T) {
+	c := testChart()
+	svg, err := StackedBar(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	// Two series: one interior rect + one rounded top path per category.
+	if got := strings.Count(svg, "<rect"); got < len(c.Categories) {
+		t.Fatalf("stacked bar has %d rect segments, want >= %d", got, len(c.Categories))
+	}
+}
+
+func TestLegendOnlyForMultipleSeries(t *testing.T) {
+	single := testChart()
+	single.Series = single.Series[:1]
+	svg, err := Bar(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, `width="10" height="10"`) {
+		t.Fatal("single-series chart must not render a legend swatch")
+	}
+	multi, _ := Bar(testChart())
+	if !strings.Contains(multi, `width="10" height="10"`) {
+		t.Fatal("multi-series chart must render a legend")
+	}
+}
+
+func TestSeriesCeiling(t *testing.T) {
+	c := testChart()
+	for i := 0; i < 9; i++ {
+		c.Series = append(c.Series, Series{Name: "x", Values: []float64{1, 1, 1}})
+	}
+	if _, err := Bar(c); err == nil {
+		t.Fatal("more series than palette slots must be rejected, not repainted")
+	}
+}
+
+func TestMismatchedValuesRejected(t *testing.T) {
+	c := testChart()
+	c.Series[0].Values = []float64{1}
+	if _, err := Bar(c); err == nil {
+		t.Fatal("ragged series must be rejected")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	cases := []struct {
+		max   float64
+		first float64
+	}{
+		{1.3, 0},
+		{97, 0},
+		{0.004, 0},
+		{123456, 0},
+	}
+	for _, cse := range cases {
+		ticks := niceTicks(cse.max, 4)
+		if ticks[0] != cse.first {
+			t.Fatalf("ticks(%v) start at %v", cse.max, ticks[0])
+		}
+		if last := ticks[len(ticks)-1]; last < cse.max {
+			t.Fatalf("ticks(%v) top %v below max", cse.max, last)
+		}
+		for i := 1; i < len(ticks); i++ {
+			if ticks[i] <= ticks[i-1] {
+				t.Fatalf("ticks(%v) not increasing: %v", cse.max, ticks)
+			}
+		}
+	}
+	if got := niceTicks(0, 4); len(got) < 2 {
+		t.Fatal("zero-max ticks must still produce an axis")
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1500:    "1,500",
+		1234567: "1,234,567",
+		1.25:    "1.25",
+		0.5:     "0.5",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Fatalf("fmtTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestTextNeverWearsSeriesColor(t *testing.T) {
+	svg, err := Bar(testChart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every <text> element must use an ink token.
+	for _, line := range strings.Split(svg, "\n") {
+		if !strings.Contains(line, "<text") {
+			continue
+		}
+		if !strings.Contains(line, textPrimary) && !strings.Contains(line, textSecondary) {
+			t.Fatalf("text not in ink tokens: %s", line)
+		}
+		for _, hue := range Palette {
+			if strings.Contains(line, `fill="`+hue+`"`) {
+				t.Fatalf("text wears a series color: %s", line)
+			}
+		}
+	}
+}
+
+// Property: ticks always cover [0, max] and are strictly increasing.
+func TestNiceTicksProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		max := float64(raw%1000000)/100 + 0.01
+		ticks := niceTicks(max, 4)
+		if len(ticks) < 2 || ticks[0] != 0 {
+			return false
+		}
+		for i := 1; i < len(ticks); i++ {
+			if ticks[i] <= ticks[i-1] {
+				return false
+			}
+		}
+		return ticks[len(ticks)-1] >= max-1e-9 && len(ticks) <= 12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bar heights never extend above the plot area (no negative
+// y coordinates in paths).
+func TestBarsStayInFrame(t *testing.T) {
+	c := testChart()
+	c.Series[1].Values = []float64{1e6, 3, 0}
+	svg, err := Bar(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	if strings.Contains(svg, `,-`) {
+		t.Fatalf("negative coordinates in SVG:\n%s", svg)
+	}
+	_ = math.Pi
+}
+
+// coordsInBox extracts every x/y-ish numeric attribute and checks it stays
+// inside the viewBox (the offline stand-in for a visual render check).
+func coordsInBox(t *testing.T, svg string, w, h float64) {
+	t.Helper()
+	for _, attr := range []string{`x="`, `y="`, `x1="`, `y1="`, `x2="`, `y2="`, `cx="`, `cy="`} {
+		rest := svg
+		for {
+			i := strings.Index(rest, attr)
+			if i < 0 {
+				break
+			}
+			rest = rest[i+len(attr):]
+			j := strings.IndexByte(rest, '"')
+			var v float64
+			fmt.Sscanf(rest[:j], "%f", &v)
+			if v < -1 || v > w+1 && v > h+1 {
+				t.Fatalf("coordinate %s%v out of the %gx%g viewBox", attr, v, w, h)
+			}
+			rest = rest[j:]
+		}
+	}
+}
+
+func TestAllFormsStayInViewBox(t *testing.T) {
+	c := testChart()
+	for name, render := range map[string]func(*Chart) (string, error){
+		"bar": Bar, "stacked": StackedBar, "line": Line,
+	} {
+		svg, err := render(c)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		w, h := c.size()
+		coordsInBox(t, svg, float64(w), float64(h))
+	}
+}

@@ -1,0 +1,201 @@
+// Package sched implements the task scheduling policies of Table 2:
+//
+//   - B:  co-locate with the main data element's home unit.
+//   - Sm: lowest-distance mapping over all hint addresses (§2.3).
+//   - Sl: Sm placement plus dynamic work stealing (stealing itself is
+//     executed by the runtime; this package selects victims).
+//   - Sh/O: the hybrid score of §5.2 — argmin over units of
+//     costmem + B·costload — camp-aware for design O.
+//
+// Each NDP unit schedules locally using periodically exchanged load
+// snapshots (§5.2); there is no central scheduler. The Scheduler type below
+// is instantiated once per simulation and keeps per-origin "sent since last
+// exchange" deltas so that a unit immediately accounts for the load it has
+// itself forwarded, preventing same-interval herding onto one idle unit.
+package sched
+
+import (
+	"abndp/internal/config"
+	"abndp/internal/core"
+	"abndp/internal/noc"
+	"abndp/internal/task"
+	"abndp/internal/topology"
+)
+
+// Kind is the placement algorithm of a policy.
+type Kind int
+
+const (
+	// KindHome places a task at its main element's home (design B).
+	KindHome Kind = iota
+	// KindLowestDistance minimizes the mean data distance (Sm, Sl, C).
+	KindLowestDistance
+	// KindHybrid minimizes costmem + B*costload (Sh, O).
+	KindHybrid
+)
+
+// KindFor returns the placement kind used by a Table 2 design. Design H has
+// no NDP scheduler and is rejected by the runtime before this point.
+func KindFor(d config.Design) Kind {
+	switch {
+	case d == config.DesignB:
+		return KindHome
+	case d.UsesHybrid():
+		return KindHybrid
+	default:
+		return KindLowestDistance
+	}
+}
+
+// Scheduler scores candidate units for task placement.
+type Scheduler struct {
+	kind    Kind
+	cost    *core.CostModel
+	camps   *core.CampMap
+	noc     *noc.Model
+	units   int
+	hybridB float64
+
+	// snapW is the last exchanged workload snapshot; delta[origin*units+u]
+	// is the load origin has forwarded to u since that exchange.
+	snapW []float64
+	delta []float64
+
+	// scratch buffers reused across Place calls.
+	flatBuf []topology.UnitID
+	candBuf [][]topology.UnitID
+	loadBuf []float64
+}
+
+// New builds a scheduler. campAware must match the cost model: design O
+// schedules against camp locations, every other design against homes.
+func New(kind Kind, cost *core.CostModel, camps *core.CampMap, n *noc.Model, hybridAlpha float64) *Scheduler {
+	units := n.Topology().Units()
+	return &Scheduler{
+		kind:    kind,
+		cost:    cost,
+		camps:   camps,
+		noc:     n,
+		units:   units,
+		hybridB: core.HybridWeight(n, hybridAlpha),
+		snapW:   make([]float64, units),
+		delta:   make([]float64, units*units),
+		loadBuf: make([]float64, units),
+	}
+}
+
+// Kind returns the scheduler's placement kind.
+func (s *Scheduler) Kind() Kind { return s.kind }
+
+// HybridB returns the hybrid weight B in cycles (for tests).
+func (s *Scheduler) HybridB() float64 { return s.hybridB }
+
+// Exchange installs a fresh workload snapshot (the periodic hierarchical
+// exchange of §5.2) and clears the per-origin deltas.
+func (s *Scheduler) Exchange(trueW []float64) {
+	copy(s.snapW, trueW)
+	for i := range s.delta {
+		s.delta[i] = 0
+	}
+}
+
+// SnapshotLoads returns the last exchanged load snapshot. Work stealing
+// uses it for victim selection — a thief knows other units' loads only
+// through the same periodic exchange the hybrid policy uses, never
+// instantaneously.
+func (s *Scheduler) SnapshotLoads() []float64 { return s.snapW }
+
+// Place chooses the execution unit for t, scheduled by origin's scheduler,
+// and records the forwarded load in origin's delta. Ties break toward the
+// lowest unit ID so results are deterministic.
+func (s *Scheduler) Place(t *task.Task, origin topology.UnitID) topology.UnitID {
+	var target topology.UnitID
+	switch s.kind {
+	case KindHome:
+		target = s.camps.Home(t.Hint.Lines[0])
+	case KindLowestDistance:
+		target = s.placeLowestDistance(t)
+	case KindHybrid:
+		target = s.placeHybrid(t, origin)
+	default:
+		panic("sched: unknown policy kind")
+	}
+	s.delta[int(origin)*s.units+int(target)] += t.Hint.EstimatedWorkload()
+	return target
+}
+
+func (s *Scheduler) placeLowestDistance(t *task.Task) topology.UnitID {
+	s.flatBuf, s.candBuf = s.cost.Candidates(t.Hint.Lines, s.flatBuf, s.candBuf)
+	// Ties break toward the main element's home: with symmetric data many
+	// units score equally, and a fixed lowest-ID tie-break would pile
+	// every such task onto unit 0.
+	best := s.camps.Home(t.Hint.Lines[0])
+	bestCost := s.cost.MemCost(s.candBuf, best)
+	for u := 0; u < s.units; u++ {
+		if c := s.cost.MemCost(s.candBuf, topology.UnitID(u)); c < bestCost {
+			best, bestCost = topology.UnitID(u), c
+		}
+	}
+	return best
+}
+
+func (s *Scheduler) placeHybrid(t *task.Task, origin topology.UnitID) topology.UnitID {
+	s.flatBuf, s.candBuf = s.cost.Candidates(t.Hint.Lines, s.flatBuf, s.candBuf)
+
+	// Effective load view of this origin: the snapshot plus what it has
+	// forwarded since, amplified by the unit count as a mean-field
+	// correction. Every scheduler sees the same stale snapshot, so
+	// without the correction all origins would pile onto whatever unit
+	// the snapshot shows as idle until the next exchange; amplifying the
+	// own delta makes each origin act as if its peers place symmetrically,
+	// which caps the collective overshoot at roughly one origin's worth.
+	// The mean is floored at roughly two queued tasks per unit: with
+	// near-empty queues a one-task difference is quantization noise, not
+	// imbalance, and must not dominate the distance term.
+	d := s.delta[int(origin)*s.units : (int(origin)+1)*s.units]
+	amp := float64(s.units)
+	var sum float64
+	for u := 0; u < s.units; u++ {
+		w := s.snapW[u] + d[u]*amp
+		s.loadBuf[u] = w
+		sum += w
+	}
+	const meanFloor = 32 // about two tasks' default workload estimate
+	mean := sum / float64(s.units)
+	if mean < meanFloor {
+		mean = meanFloor
+	}
+
+	// Ties break toward the main element's home, as in lowest-distance.
+	best := s.camps.Home(t.Hint.Lines[0])
+	bestScore := s.cost.MemCost(s.candBuf, best) + s.hybridB*(s.loadBuf[best]/mean-1)
+	for u := 0; u < s.units; u++ {
+		score := s.cost.MemCost(s.candBuf, topology.UnitID(u)) +
+			s.hybridB*(s.loadBuf[u]/mean-1)
+		if score < bestScore {
+			best, bestScore = topology.UnitID(u), score
+		}
+	}
+	return best
+}
+
+// PickVictim selects the work-stealing victim for an idle thief: the unit
+// with the longest queue, provided it has more than minQueue tasks. It
+// returns -1 when no unit qualifies. Ties break toward the unit closest to
+// the thief (cheapest steal), then lowest ID.
+func PickVictim(thief topology.UnitID, queueLens []int, minQueue int, n *noc.Model) topology.UnitID {
+	best := topology.UnitID(-1)
+	bestLen := 0
+	var bestLat int64
+	for u, l := range queueLens {
+		uid := topology.UnitID(u)
+		if uid == thief || l <= minQueue {
+			continue
+		}
+		lat := n.Latency(thief, uid)
+		if best < 0 || l > bestLen || (l == bestLen && lat < bestLat) {
+			best, bestLen, bestLat = uid, l, lat
+		}
+	}
+	return best
+}

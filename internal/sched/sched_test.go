@@ -1,0 +1,268 @@
+package sched
+
+import (
+	"testing"
+
+	"abndp/internal/config"
+	"abndp/internal/core"
+	"abndp/internal/mem"
+	"abndp/internal/noc"
+	"abndp/internal/task"
+	"abndp/internal/topology"
+)
+
+type env struct {
+	cfg   config.Config
+	topo  *topology.Topology
+	space *mem.Space
+	noc   *noc.Model
+	camps *core.CampMap
+}
+
+func newEnv() *env {
+	cfg := config.Default()
+	topo := topology.New(topology.Config{
+		MeshX: cfg.MeshX, MeshY: cfg.MeshY,
+		UnitsPerStack: cfg.UnitsPerStack, Groups: cfg.Groups(),
+	})
+	space := mem.NewSpace(topo.Units(), cfg.UnitBytes)
+	return &env{
+		cfg: cfg, topo: topo, space: space,
+		noc:   noc.New(topo, &cfg),
+		camps: core.NewCampMap(topo, space, true),
+	}
+}
+
+func (e *env) scheduler(kind Kind, campAware bool) *Scheduler {
+	cost := core.NewCostModel(e.noc, e.camps, campAware)
+	return New(kind, cost, e.camps, e.noc, e.cfg.HybridAlpha)
+}
+
+// lineOn returns a line homed on unit u.
+func (e *env) lineOn(u topology.UnitID) mem.Line {
+	return mem.LineOf(mem.Addr(uint64(u)*e.cfg.UnitBytes + 4096))
+}
+
+func TestKindFor(t *testing.T) {
+	cases := map[config.Design]Kind{
+		config.DesignB:  KindHome,
+		config.DesignSm: KindLowestDistance,
+		config.DesignSl: KindLowestDistance,
+		config.DesignSh: KindHybrid,
+		config.DesignC:  KindLowestDistance,
+		config.DesignO:  KindHybrid,
+	}
+	for d, want := range cases {
+		if got := KindFor(d); got != want {
+			t.Fatalf("KindFor(%v) = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestHomePolicy(t *testing.T) {
+	e := newEnv()
+	s := e.scheduler(KindHome, false)
+	for _, u := range []topology.UnitID{0, 17, 127} {
+		tsk := &task.Task{Hint: task.Hint{Lines: []mem.Line{e.lineOn(u), e.lineOn(0)}}}
+		if got := s.Place(tsk, 5); got != u {
+			t.Fatalf("home policy placed on %d, want %d (main element home)", got, u)
+		}
+	}
+}
+
+func TestLowestDistanceSingleLine(t *testing.T) {
+	e := newEnv()
+	s := e.scheduler(KindLowestDistance, false)
+	u := topology.UnitID(99)
+	tsk := &task.Task{Hint: task.Hint{Lines: []mem.Line{e.lineOn(u)}}}
+	if got := s.Place(tsk, 0); got != u {
+		t.Fatalf("single-line lowest distance placed on %d, want %d", got, u)
+	}
+}
+
+func TestLowestDistanceIsArgmin(t *testing.T) {
+	e := newEnv()
+	s := e.scheduler(KindLowestDistance, false)
+	cost := core.NewCostModel(e.noc, e.camps, false)
+	lines := []mem.Line{e.lineOn(3), e.lineOn(77), e.lineOn(120)}
+	tsk := &task.Task{Hint: task.Hint{Lines: lines}}
+	got := s.Place(tsk, 0)
+	gotCost := cost.MemCostLines(lines, got)
+	for u := 0; u < e.topo.Units(); u++ {
+		if c := cost.MemCostLines(lines, topology.UnitID(u)); c < gotCost {
+			t.Fatalf("unit %d has cost %v < chosen %d's %v", u, c, got, gotCost)
+		}
+	}
+}
+
+func TestHybridReducesToLowestDistanceWhenBalanced(t *testing.T) {
+	e := newEnv()
+	sh := e.scheduler(KindHybrid, false)
+	sm := e.scheduler(KindLowestDistance, false)
+	// Uniform load: costload is 0 everywhere, so hybrid == lowest distance.
+	w := make([]float64, e.topo.Units())
+	for i := range w {
+		w[i] = 100
+	}
+	for i := 0; i < 50; i++ {
+		// Refresh the snapshot each time: Place accumulates forwarding
+		// deltas that would otherwise perturb tie-breaking.
+		sh.Exchange(w)
+		lines := []mem.Line{e.lineOn(topology.UnitID(i % 128)), e.lineOn(topology.UnitID((i * 7) % 128))}
+		a := sh.Place(&task.Task{Hint: task.Hint{Lines: lines}}, 0)
+		b := sm.Place(&task.Task{Hint: task.Hint{Lines: lines}}, 0)
+		if a != b {
+			t.Fatalf("case %d: hybrid=%d lowest=%d under uniform load", i, a, b)
+		}
+	}
+}
+
+func TestHybridAvoidsOverloadedUnit(t *testing.T) {
+	e := newEnv()
+	s := e.scheduler(KindHybrid, false)
+	home := topology.UnitID(42)
+	// The data's home is massively overloaded; everyone else is idle.
+	w := make([]float64, e.topo.Units())
+	w[home] = 1e7
+	s.Exchange(w)
+	tsk := &task.Task{Hint: task.Hint{Lines: []mem.Line{e.lineOn(home)}}}
+	if got := s.Place(tsk, 0); got == home {
+		t.Fatal("hybrid policy kept the task on a hotspot unit")
+	}
+}
+
+func TestHybridZeroWeightIgnoresLoad(t *testing.T) {
+	e := newEnv()
+	cost := core.NewCostModel(e.noc, e.camps, false)
+	s := New(KindHybrid, cost, e.camps, e.noc, 0) // alpha = 0 -> B = 0
+	home := topology.UnitID(42)
+	w := make([]float64, e.topo.Units())
+	w[home] = 1e7
+	s.Exchange(w)
+	tsk := &task.Task{Hint: task.Hint{Lines: []mem.Line{e.lineOn(home)}}}
+	if got := s.Place(tsk, 0); got != home {
+		t.Fatalf("alpha=0 hybrid placed on %d, want home %d", got, home)
+	}
+}
+
+func TestDeltaPreventsHerding(t *testing.T) {
+	e := newEnv()
+	s := e.scheduler(KindHybrid, false)
+	// One idle unit among loaded ones: after enough forwarded tasks, the
+	// origin's delta should steer placements elsewhere.
+	w := make([]float64, e.topo.Units())
+	for i := range w {
+		w[i] = 1000
+	}
+	idle := topology.UnitID(100)
+	w[idle] = 0
+	s.Exchange(w)
+	counts := map[topology.UnitID]int{}
+	for i := 0; i < 200; i++ {
+		// Data lives on the idle unit's opposite corner, so placement is
+		// driven by load, not distance.
+		tsk := &task.Task{Hint: task.Hint{Lines: []mem.Line{e.lineOn(idle)}, Workload: 100}}
+		counts[s.Place(tsk, 0)]++
+	}
+	if counts[idle] == 200 {
+		t.Fatal("all 200 tasks herded onto the one idle unit despite deltas")
+	}
+	if counts[idle] == 0 {
+		t.Fatal("idle unit never chosen; load term inactive?")
+	}
+}
+
+func TestExchangeResetsDeltas(t *testing.T) {
+	e := newEnv()
+	s := e.scheduler(KindHybrid, false)
+	w := make([]float64, e.topo.Units())
+	for i := range w {
+		w[i] = 1000
+	}
+	idle := topology.UnitID(100)
+	w[idle] = 0
+	s.Exchange(w)
+	tsk := func() *task.Task {
+		return &task.Task{Hint: task.Hint{Lines: []mem.Line{e.lineOn(idle)}, Workload: 1e6}}
+	}
+	first := s.Place(tsk(), 0)
+	if first != idle {
+		t.Fatalf("first placement = %d, want idle %d", first, idle)
+	}
+	// Huge delta now biases away from idle...
+	second := s.Place(tsk(), 0)
+	if second == idle {
+		t.Fatal("delta should have steered the second task away")
+	}
+	// ...until the next exchange clears it.
+	s.Exchange(w)
+	if got := s.Place(tsk(), 0); got != idle {
+		t.Fatalf("after exchange, placement = %d, want idle %d", got, idle)
+	}
+}
+
+func TestCampAwarePlacementCanBeatHomeDistance(t *testing.T) {
+	e := newEnv()
+	aware := e.scheduler(KindLowestDistance, true)
+	cost := core.NewCostModel(e.noc, e.camps, true)
+	costHome := core.NewCostModel(e.noc, e.camps, false)
+	// Two lines homed on distant units: camp-aware placement should find
+	// a unit whose camp-based cost is <= the best home-based cost.
+	lines := []mem.Line{e.lineOn(0), e.lineOn(127)}
+	got := aware.Place(&task.Task{Hint: task.Hint{Lines: lines}}, 0)
+	bestHome := 1e18
+	for u := 0; u < e.topo.Units(); u++ {
+		if c := costHome.MemCostLines(lines, topology.UnitID(u)); c < bestHome {
+			bestHome = c
+		}
+	}
+	if c := cost.MemCostLines(lines, got); c > bestHome {
+		t.Fatalf("camp-aware cost %v worse than best home-only %v", c, bestHome)
+	}
+}
+
+func TestPickVictim(t *testing.T) {
+	e := newEnv()
+	lens := make([]int, e.topo.Units())
+	if got := PickVictim(0, lens, 1, e.noc); got != -1 {
+		t.Fatalf("victim in idle system = %d, want -1", got)
+	}
+	lens[50] = 10
+	lens[60] = 30
+	if got := PickVictim(0, lens, 1, e.noc); got != 60 {
+		t.Fatalf("victim = %d, want 60 (longest queue)", got)
+	}
+	// Thief never picks itself even if longest.
+	lens[0] = 100
+	if got := PickVictim(0, lens, 1, e.noc); got != 60 {
+		t.Fatalf("victim = %d, want 60 (not self)", got)
+	}
+	// Queues at or below minQueue are not victims.
+	for i := range lens {
+		lens[i] = 0
+	}
+	lens[5] = 1
+	if got := PickVictim(0, lens, 1, e.noc); got != -1 {
+		t.Fatalf("victim = %d, want -1 (below threshold)", got)
+	}
+}
+
+func TestPlaceIsDeterministic(t *testing.T) {
+	e := newEnv()
+	mk := func() *Scheduler { return e.scheduler(KindHybrid, true) }
+	w := make([]float64, e.topo.Units())
+	for i := range w {
+		w[i] = float64(i % 7)
+	}
+	s1, s2 := mk(), mk()
+	s1.Exchange(w)
+	s2.Exchange(w)
+	for i := 0; i < 100; i++ {
+		lines := []mem.Line{e.lineOn(topology.UnitID(i % 128)), e.lineOn(topology.UnitID((i * 31) % 128))}
+		a := s1.Place(&task.Task{Hint: task.Hint{Lines: lines}}, topology.UnitID(i%128))
+		b := s2.Place(&task.Task{Hint: task.Hint{Lines: lines}}, topology.UnitID(i%128))
+		if a != b {
+			t.Fatalf("case %d: nondeterministic placement %d vs %d", i, a, b)
+		}
+	}
+}

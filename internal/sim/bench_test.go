@@ -1,0 +1,29 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngine measures event scheduling + dispatch throughput.
+func BenchmarkEngine(b *testing.B) {
+	var e Engine
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(3, tick)
+		}
+	}
+	b.ResetTimer()
+	e.After(0, tick)
+	e.Run()
+}
+
+// BenchmarkEngineFanOut measures bursts of same-cycle events.
+func BenchmarkEngineFanOut(b *testing.B) {
+	var e Engine
+	for i := 0; i < b.N; i++ {
+		e.At(int64(i/64), func() {})
+	}
+	b.ResetTimer()
+	e.Run()
+}

@@ -1,0 +1,100 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Time is measured in integer cycles of the NDP core clock (2 GHz by
+// default, so one cycle is 0.5 ns). Events scheduled for the same cycle are
+// executed in the order they were scheduled, which makes every simulation in
+// this repository fully deterministic for a given seed.
+package sim
+
+import "container/heap"
+
+// Engine is a discrete-event simulator clock and event queue.
+//
+// The zero value is ready to use. Engine is not safe for concurrent use;
+// the whole simulator is single-goroutine by design so that results are
+// reproducible.
+type Engine struct {
+	now int64
+	seq uint64
+	pq  eventHeap
+}
+
+type event struct {
+	at  int64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current simulation time in cycles.
+func (e *Engine) Now() int64 { return e.now }
+
+// Pending reports the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// At schedules fn to run at absolute cycle t. Scheduling in the past (t <
+// Now) is clamped to the current time, preserving FIFO order among
+// same-cycle events.
+func (e *Engine) At(t int64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now. Negative delays are clamped
+// to zero.
+func (e *Engine) After(d int64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step executes the earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t and then advances the clock
+// to t. Events scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t int64) {
+	for len(e.pq) > 0 && e.pq[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"abndp/internal/energy"
+)
+
+func TestTotals(t *testing.T) {
+	s := NewSystem(4, 2)
+	for i := range s.Units {
+		s.Units[i].InterHops = int64(i)
+		s.Units[i].Energy.Add(energy.Breakdown{DRAM: float64(i)})
+	}
+	if s.TotalInterHops() != 6 {
+		t.Fatalf("TotalInterHops = %d, want 6", s.TotalInterHops())
+	}
+	if s.TotalEnergy().DRAM != 6 {
+		t.Fatalf("TotalEnergy.DRAM = %v, want 6", s.TotalEnergy().DRAM)
+	}
+}
+
+func TestCoreActiveCyclesSorted(t *testing.T) {
+	s := NewSystem(2, 2)
+	s.Units[0].ActiveCycles[0] = 40
+	s.Units[0].ActiveCycles[1] = 10
+	s.Units[1].ActiveCycles[0] = 30
+	s.Units[1].ActiveCycles[1] = 20
+	got := s.CoreActiveCycles()
+	want := []int64{10, 20, 30, 40}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CoreActiveCycles = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUnitActiveCycles(t *testing.T) {
+	s := NewSystem(2, 2)
+	s.Units[0].ActiveCycles[0] = 5
+	s.Units[0].ActiveCycles[1] = 7
+	got := s.UnitActiveCycles()
+	if got[0] != 12 || got[1] != 0 {
+		t.Fatalf("UnitActiveCycles = %v", got)
+	}
+}
+
+func TestBox(t *testing.T) {
+	b := Box([]int64{1, 2, 3, 4, 5})
+	if b.Min != 1 || b.Max != 5 || b.Median != 3 {
+		t.Fatalf("Box = %+v", b)
+	}
+	if b.Q1 != 2 || b.Q3 != 4 {
+		t.Fatalf("quartiles = %v/%v, want 2/4", b.Q1, b.Q3)
+	}
+	if (Box(nil) != BoxStats{}) {
+		t.Fatal("empty Box should be zero")
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	data := []float64{10, 20, 30, 40}
+	if Quantile(data, 0) != 10 || Quantile(data, 1) != 40 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if got := Quantile(data, 0.5); got != 25 {
+		t.Fatalf("median = %v, want 25", got)
+	}
+	if Quantile([]float64{7}, 0.9) != 7 {
+		t.Fatal("singleton quantile wrong")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("Geomean = %v, want 10", got)
+	}
+	if Geomean(nil) != 0 {
+		t.Fatal("empty Geomean should be 0")
+	}
+	if got := Geomean([]float64{0, -3, 4}); got != 4 {
+		t.Fatalf("Geomean with non-positives = %v, want 4", got)
+	}
+}
+
+func TestImbalanceRatio(t *testing.T) {
+	s := NewSystem(2, 1)
+	s.Units[0].ActiveCycles[0] = 100
+	s.Units[1].ActiveCycles[0] = 100
+	if got := s.ImbalanceRatio(); got != 1 {
+		t.Fatalf("balanced ratio = %v, want 1", got)
+	}
+	s.Units[1].ActiveCycles[0] = 300
+	if got := s.ImbalanceRatio(); got != 1.5 {
+		t.Fatalf("ratio = %v, want 1.5", got)
+	}
+	if NewSystem(2, 1).ImbalanceRatio() != 0 {
+		t.Fatal("idle system ratio should be 0")
+	}
+}
+
+func TestCacheHitRate(t *testing.T) {
+	s := NewSystem(2, 1)
+	if s.CacheHitRate() != 0 {
+		t.Fatal("no-access hit rate should be 0")
+	}
+	s.Units[0].CacheHits = 3
+	s.Units[1].CacheMisses = 1
+	if got := s.CacheHitRate(); got != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", got)
+	}
+}
+
+// Property: Quantile is monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []int16, q1, q2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		data := make([]float64, len(raw))
+		for i, v := range raw {
+			data[i] = float64(v)
+		}
+		sort.Float64s(data)
+		a := float64(q1%101) / 100
+		b := float64(q2%101) / 100
+		if a > b {
+			a, b = b, a
+		}
+		qa, qb := Quantile(data, a), Quantile(data, b)
+		return qa <= qb && qa >= data[0] && qb <= data[len(data)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Geomean of identical positive values is that value.
+func TestGeomeanIdentityProperty(t *testing.T) {
+	f := func(v uint16, n uint8) bool {
+		val := float64(v%1000) + 1
+		count := int(n%20) + 1
+		vs := make([]float64, count)
+		for i := range vs {
+			vs[i] = val
+		}
+		return math.Abs(Geomean(vs)-val) < 1e-9*val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,26 @@
+package traveller
+
+import (
+	"testing"
+
+	"abndp/internal/mem"
+)
+
+func BenchmarkProbe(b *testing.B) {
+	c := newCache(0)
+	for i := 0; i < 10000; i++ {
+		c.Insert(mem.Line(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Probe(mem.Line(i % 20000))
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	c := newCache(0.4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(mem.Line(i))
+	}
+}

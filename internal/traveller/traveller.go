@@ -1,0 +1,210 @@
+// Package traveller implements the per-unit half of the Traveller Cache
+// (paper §4): the set-associative DRAM cache region with SRAM tags, random
+// replacement, probabilistic insertion bypass, and bulk invalidation at
+// timestamp boundaries. Which lines may be cached at which unit is decided
+// by the camp-location mapping in internal/core; this package only manages
+// one unit's cache state.
+package traveller
+
+import (
+	"fmt"
+	"math/bits"
+
+	"abndp/internal/config"
+	"abndp/internal/mem"
+)
+
+// Cache is the DRAM cache of one NDP unit. Tags live in SRAM (checked in a
+// couple of cycles); data lives in the reserved DRAM cache region (accessed
+// through the unit's normal DRAM channel).
+type Cache struct {
+	ways    int
+	sets    int
+	setMask uint64
+	lines   []mem.Line // flattened [set][way]
+	valid   []bool
+	lru     []int8 // per-entry recency rank (0 = MRU), only under LRU
+
+	bypassProb float64
+	useLRU     bool
+	rng        uint64 // splitmix64 state for replacement + bypass decisions
+
+	hits, misses, inserts, bypasses int64
+}
+
+// New builds the cache for one unit from the system configuration. seed
+// decorrelates the random replacement streams of different units.
+func New(cfg *config.Config, seed uint64) *Cache {
+	bytes := cfg.CacheBytes()
+	ways := cfg.CacheWays
+	sets := int(bytes) / mem.LineSize / ways
+	if sets < 1 {
+		sets = 1
+	}
+	// Power-of-two sets so the set index is a bit slice of the line
+	// address, as in the paper's metadata scheme.
+	sets = 1 << (bits.Len(uint(sets)) - 1)
+	c := &Cache{
+		ways:       ways,
+		sets:       sets,
+		setMask:    uint64(sets - 1),
+		lines:      make([]mem.Line, sets*ways),
+		valid:      make([]bool, sets*ways),
+		bypassProb: cfg.BypassProb,
+		useLRU:     cfg.Replacement == config.ReplaceLRU,
+		rng:        seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+	}
+	if c.useLRU {
+		c.lru = make([]int8, sets*ways)
+	}
+	return c
+}
+
+// Sets returns the number of cache sets in this unit's cache.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Lines returns the total line capacity.
+func (c *Cache) Lines() int { return c.sets * c.ways }
+
+func (c *Cache) next() uint64 {
+	c.rng += 0x9e3779b97f4a7c15
+	x := c.rng
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Probe checks the SRAM tags for line l, recording a hit or miss. Under
+// LRU replacement a hit refreshes the line's recency.
+func (c *Cache) Probe(l mem.Line) bool {
+	base := int(uint64(l)&c.setMask) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.lines[base+w] == l {
+			c.hits++
+			if c.useLRU {
+				c.promote(base, w, c.lru[base+w])
+			}
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// promote makes way w of the set at base the most-recently-used entry:
+// every way younger than rank `old` ages by one. Hits pass the way's own
+// rank; insertions pass ways-1 (the new line replaces the oldest).
+func (c *Cache) promote(base, w int, old int8) {
+	for i := 0; i < c.ways; i++ {
+		if c.lru[base+i] < old {
+			c.lru[base+i]++
+		}
+	}
+	c.lru[base+w] = 0
+}
+
+// Contains reports residency without affecting statistics.
+func (c *Cache) Contains(l mem.Line) bool {
+	base := int(uint64(l)&c.setMask) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.lines[base+w] == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert tries to cache line l after a miss, applying the probabilistic
+// bypass filter (paper §4.4: each block bypasses the cache with probability
+// BypassProb, so only lines with real reuse settle in after a few tries).
+// It reports whether the line was actually inserted. Victim selection is
+// random; invalid ways are filled first.
+func (c *Cache) Insert(l mem.Line) bool {
+	if c.Contains(l) {
+		return false
+	}
+	if c.bypassProb > 0 {
+		// Top 53 bits as a uniform float in [0, 1).
+		if float64(c.next()>>11)/float64(1<<53) < c.bypassProb {
+			c.bypasses++
+			return false
+		}
+	}
+	base := int(uint64(l)&c.setMask) * c.ways
+	way := -1
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[base+w] {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		if c.useLRU {
+			for w := 0; w < c.ways; w++ {
+				if int(c.lru[base+w]) == c.ways-1 {
+					way = w
+					break
+				}
+			}
+		}
+		if way < 0 {
+			way = int(c.next() % uint64(c.ways))
+		}
+	}
+	c.lines[base+way] = l
+	c.valid[base+way] = true
+	if c.useLRU {
+		c.promote(base, way, int8(c.ways-1))
+	}
+	c.inserts++
+	return true
+}
+
+// InvalidateAll clears every tag — the bulk invalidation at the end of each
+// timestamp. Because the cache only ever holds read-only primary data, no
+// writeback is needed.
+func (c *Cache) InvalidateAll() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// Occupancy returns the number of valid lines (for tests and debugging).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns cumulative probe hits, probe misses, insertions, and
+// bypass decisions.
+func (c *Cache) Stats() (hits, misses, inserts, bypasses int64) {
+	return c.hits, c.misses, c.inserts, c.bypasses
+}
+
+// TagBits returns the per-entry SRAM tag width for a system with the given
+// total line-address width, reproducing the §4.3 arithmetic: the camp
+// restriction removes the in-group unit-ID bits from the tag.
+func TagBits(totalBytes uint64, sets, unitsPerGroup int) int {
+	addrBits := bits.Len64(totalBytes - 1)
+	setBits := bits.Len(uint(sets - 1))
+	groupBits := bits.Len(uint(unitsPerGroup - 1))
+	tag := addrBits - mem.LineShift - setBits - groupBits
+	if tag < 0 {
+		tag = 0
+	}
+	return tag
+}
+
+// String summarizes the cache geometry.
+func (c *Cache) String() string {
+	return fmt.Sprintf("traveller{%d sets x %d ways, %d KiB}",
+		c.sets, c.ways, c.sets*c.ways*mem.LineSize/1024)
+}

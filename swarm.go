@@ -1,0 +1,165 @@
+package abndp
+
+import (
+	"fmt"
+
+	"abndp/internal/task"
+)
+
+// This file provides the paper's §3.1 programming model as a thin layer
+// over the App interface: tasks are (function, timestamp, hint, args)
+// tuples created with EnqueueTask, mirroring Swarm's
+//
+//	enqueue_task(func_ptr, timestamp, hint, args...)
+//
+// Example — Algorithm 1's Page Rank task:
+//
+//	prog := abndp.NewProgram("pr")
+//	var taskPageRank abndp.TaskFunc
+//	taskPageRank = func(rt *abndp.Runtime, t *abndp.Task) {
+//	    v := t.Elem
+//	    ... compute nextPr[v] from neighbors ...
+//	    if !converged {
+//	        rt.EnqueueTask(taskPageRank, t.TS+1, hint(v), v)
+//	    }
+//	}
+//
+// The runtime handles placement, prefetching, bulk synchronization, and
+// cache invalidation exactly as for built-in workloads.
+
+// TaskFunc is the body of a task under the Swarm-style model. It runs once
+// per task; child tasks are created with rt.EnqueueTask. Use rt.Charge to
+// report the task's computation cost (defaults to a small constant).
+type TaskFunc func(rt *Runtime, t *Task)
+
+// Program is a workload expressed as Swarm-style tasks. It implements App.
+type Program struct {
+	name  string
+	setup func(rt *Runtime)
+	rt    *Runtime
+}
+
+// Runtime is the per-run execution context of a Program: it creates tasks,
+// allocates primary data, and charges computation.
+type Runtime struct {
+	sys  *System
+	prog *Program
+
+	// emit targets: exactly one of these is active at a time.
+	initial func(*Task)
+	ctx     *ExecCtx
+
+	funcs   []TaskFunc
+	funcIDs map[string]int
+	barrier barrierFunc
+
+	charged int64
+}
+
+// NewProgram creates an empty Swarm-style workload. The setup callback
+// allocates primary data (via rt.NewArray) and enqueues the timestamp-0
+// tasks with rt.EnqueueTask.
+func NewProgram(name string, setup func(rt *Runtime)) *Program {
+	return &Program{name: name, setup: setup}
+}
+
+// Name implements App.
+func (p *Program) Name() string { return p.name }
+
+// Setup implements App.
+func (p *Program) Setup(sys *System) {
+	p.rt = &Runtime{sys: sys, prog: p, funcIDs: make(map[string]int)}
+}
+
+// InitialTasks implements App: it runs the user setup, capturing every
+// EnqueueTask call as a timestamp-0 task.
+func (p *Program) InitialTasks(emit func(*task.Task)) {
+	p.rt.initial = emit
+	p.setup(p.rt)
+	p.rt.initial = nil
+}
+
+// Execute implements App: it dispatches to the task's registered function.
+func (p *Program) Execute(t *task.Task, ctx *ExecCtx) int64 {
+	rt := p.rt
+	rt.ctx = ctx
+	rt.charged = 0
+	rt.funcs[t.Kind](rt, t)
+	rt.ctx = nil
+	if rt.charged <= 0 {
+		return 10 // nominal task overhead when the body charges nothing
+	}
+	return rt.charged
+}
+
+// EndTimestamp implements App. Programs apply their own bulk updates by
+// scheduling a function with rt.AtBarrier (optional).
+func (p *Program) EndTimestamp(ts int64) {
+	if p.rt.barrier != nil {
+		p.rt.barrier(ts)
+	}
+}
+
+// --- Runtime API ---
+
+// barrier is the optional bulk-update hook.
+type barrierFunc = func(ts int64)
+
+// NewArray allocates an interleaved primary-data array (see System.Space
+// for other placements).
+func (rt *Runtime) NewArray(name string, n, elemSize int) *Array {
+	return rt.sys.Space.NewArray(name, n, elemSize, Interleave)
+}
+
+// AtBarrier registers f to run at every bulk-synchronous barrier (the
+// paper's "all updates are bulk applied at the end").
+func (rt *Runtime) AtBarrier(f func(ts int64)) { rt.barrier = f }
+
+// register assigns a stable ID to fn. Functions are identified by the
+// pointer of their first registration; passing the same variable works,
+// passing a fresh closure each time does not.
+func (rt *Runtime) register(fn TaskFunc) int {
+	key := fmt.Sprintf("%p", fn)
+	if id, ok := rt.funcIDs[key]; ok {
+		return id
+	}
+	rt.funcs = append(rt.funcs, fn)
+	rt.funcIDs[key] = len(rt.funcs) - 1
+	return len(rt.funcs) - 1
+}
+
+// EnqueueTask creates a task running fn at timestamp ts with the given
+// hint; elem is the task's main element (also available as t.Elem) and arg
+// an optional extra argument. Mirrors the paper's enqueue_task API: during
+// setup it creates timestamp-0 tasks; inside a task body it creates
+// children for the next timestamp (ts is then informational — the runtime
+// enforces TS+1, as the bulk-synchronous model requires).
+func (rt *Runtime) EnqueueTask(fn TaskFunc, ts int64, hint Hint, elem int, arg ...int64) {
+	if len(hint.Lines) == 0 {
+		panic("abndp: EnqueueTask requires a hint with at least the main element's line")
+	}
+	t := &Task{Kind: rt.register(fn), Elem: elem, TS: ts, Hint: hint}
+	if len(arg) > 0 {
+		t.Arg = arg[0]
+	}
+	switch {
+	case rt.initial != nil:
+		rt.initial(t)
+	case rt.ctx != nil:
+		rt.ctx.Enqueue(t)
+	default:
+		panic("abndp: EnqueueTask outside setup or a task body")
+	}
+}
+
+// Charge reports instrs of computation for the currently executing task.
+// Multiple calls accumulate.
+func (rt *Runtime) Charge(instrs int64) { rt.charged += instrs }
+
+// Unit returns the NDP unit executing the current task.
+func (rt *Runtime) Unit() UnitID {
+	if rt.ctx == nil {
+		return -1
+	}
+	return rt.ctx.Unit()
+}

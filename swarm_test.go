@@ -1,0 +1,123 @@
+package abndp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestProgramPageRank writes Algorithm 1's Page Rank against the
+// Swarm-style EnqueueTask API and checks it against the batch App
+// implementation's semantics (a ring graph has the analytic answer 1/n).
+func TestProgramPageRank(t *testing.T) {
+	const (
+		n     = 64
+		iters = 5
+		alpha = 0.85
+	)
+	// Ring graph: v -> (v+1) % n; in-neighbor of v is v-1.
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for i := range cur {
+		cur[i] = 1 / float64(n)
+	}
+
+	var vdata *Array
+	var taskPR TaskFunc
+
+	hint := func(rt *Runtime, v int) Hint {
+		in := (v - 1 + n) % n
+		lines := []Line{vdata.LineOf(v)}
+		lines = vdata.AppendLines(lines, in)
+		return Hint{Lines: lines}
+	}
+
+	taskPR = func(rt *Runtime, tk *Task) {
+		v := tk.Elem
+		in := (v - 1 + n) % n
+		// Every vertex has out-degree 1.
+		next[v] = alpha*cur[in] + (1-alpha)/float64(n)
+		rt.Charge(16)
+		if tk.TS+1 < iters {
+			rt.EnqueueTask(taskPR, tk.TS+1, hint(rt, v), v)
+		}
+	}
+
+	prog := NewProgram("ringpr", func(rt *Runtime) {
+		vdata = rt.NewArray("ring.vdata", n, 16)
+		rt.AtBarrier(func(int64) {
+			cur, next = next, cur
+		})
+		for v := 0; v < n; v++ {
+			rt.EnqueueTask(taskPR, 0, hint(rt, v), v)
+		}
+	})
+
+	res, err := RunApp(prog, DesignO, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != n*iters {
+		t.Fatalf("ran %d tasks, want %d", res.Tasks, n*iters)
+	}
+	if res.Steps != iters {
+		t.Fatalf("ran %d timestamps, want %d", res.Steps, iters)
+	}
+	// On a ring the stationary distribution is uniform.
+	for v := 0; v < n; v++ {
+		if math.Abs(cur[v]-1/float64(n)) > 1e-12 {
+			t.Fatalf("rank[%d] = %v, want %v", v, cur[v], 1/float64(n))
+		}
+	}
+}
+
+func TestProgramChargeDefaults(t *testing.T) {
+	var arr *Array
+	body := func(rt *Runtime, tk *Task) {} // charges nothing
+	prog := NewProgram("noop", func(rt *Runtime) {
+		arr = rt.NewArray("noop", 8, 16)
+		for i := 0; i < 8; i++ {
+			rt.EnqueueTask(body, 0, Hint{Lines: []Line{arr.LineOf(i)}}, i)
+		}
+	})
+	res, err := RunApp(prog, DesignB, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != 8 {
+		t.Fatalf("tasks = %d", res.Tasks)
+	}
+}
+
+func TestProgramSharedFunctionIdentity(t *testing.T) {
+	// Two different closures must get distinct function IDs; the same
+	// variable re-used must not.
+	var arr *Array
+	ranA, ranB := 0, 0
+	var a, b TaskFunc
+	a = func(rt *Runtime, tk *Task) { ranA++ }
+	b = func(rt *Runtime, tk *Task) { ranB++ }
+	prog := NewProgram("two", func(rt *Runtime) {
+		arr = rt.NewArray("two", 4, 16)
+		rt.EnqueueTask(a, 0, Hint{Lines: []Line{arr.LineOf(0)}}, 0)
+		rt.EnqueueTask(b, 0, Hint{Lines: []Line{arr.LineOf(1)}}, 1)
+		rt.EnqueueTask(a, 0, Hint{Lines: []Line{arr.LineOf(2)}}, 2)
+	})
+	if _, err := RunApp(prog, DesignB, smallConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if ranA != 2 || ranB != 1 {
+		t.Fatalf("dispatch counts a=%d b=%d, want 2/1", ranA, ranB)
+	}
+}
+
+func TestProgramEmptyHintPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnqueueTask with an empty hint must panic")
+		}
+	}()
+	prog := NewProgram("bad", func(rt *Runtime) {
+		rt.EnqueueTask(func(*Runtime, *Task) {}, 0, Hint{}, 0)
+	})
+	_, _ = RunApp(prog, DesignB, smallConfig())
+}
