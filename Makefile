@@ -15,9 +15,12 @@ vet:
 test:
 	$(GO) test ./...
 
-# Micro-benchmarks + per-figure harness smoke benchmarks.
+# Micro-benchmarks + per-figure harness smoke benchmarks, then a quick
+# harness run that records its wall-clock breakdown in BENCH_<date>.json
+# (plan/simulate phase times, runs executed, per-experiment render times).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/abndpbench -quick -benchjson BENCH_$(shell date +%Y%m%d).json >/dev/null
 
 # Regenerate every table and figure of the paper (text tables to stdout).
 experiments:

@@ -6,6 +6,13 @@
 //	abndpbench                 # the full suite (Tables 1-2, Figures 2-18)
 //	abndpbench -exp fig6,fig8  # selected experiments
 //	abndpbench -quick          # shrunken workloads (smoke test)
+//	abndpbench -j 8            # simulate on 8 worker goroutines
+//	abndpbench -serial         # one run at a time (same output, slower)
+//	abndpbench -benchjson f    # write harness wall-clock metrics to f
+//
+// Simulation runs are planned up front and executed on a worker pool
+// (GOMAXPROCS-wide by default); each run stays single-goroutine, so the
+// tables are byte-identical at any -j.
 package main
 
 import (
@@ -20,14 +27,22 @@ import (
 
 func main() {
 	var (
-		exps  = flag.String("exp", "all", "comma-separated experiments (tab1 tab2 fig2 fig6..fig18, ablrepl ablprobe ablhint abltopo) or 'all'")
-		quick = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-		svg   = flag.String("svg", "", "also render the figures as SVG files into this directory")
+		exps   = flag.String("exp", "all", "comma-separated experiments (tab1 tab2 fig2 fig6..fig18, ablrepl ablprobe ablhint abltopo) or 'all'")
+		quick  = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		svg    = flag.String("svg", "", "also render the figures as SVG files into this directory")
+		jobs   = flag.Int("j", 0, "worker goroutines for simulation runs (0 = GOMAXPROCS)")
+		serial = flag.Bool("serial", false, "run simulations one at a time (equivalent to -j 1)")
+		bjson  = flag.String("benchjson", "", "write per-experiment wall-clock metrics to this JSON file (e.g. BENCH_20260805.json)")
 	)
 	flag.Parse()
 
 	r := bench.NewRunner(os.Stdout)
 	r.SetQuick(*quick)
+	if *serial {
+		r.SetWorkers(1)
+	} else {
+		r.SetWorkers(*jobs)
+	}
 
 	start := time.Now()
 	if *exps == "all" {
@@ -47,6 +62,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %d SVG figures to %s\n", len(files), *svg)
+	}
+	if *bjson != "" {
+		if err := r.Metrics().WriteJSON(*bjson); err != nil {
+			fmt.Fprintln(os.Stderr, "abndpbench:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("\ncompleted in %.1fs\n", time.Since(start).Seconds())
 }

@@ -114,9 +114,9 @@ func (a *AStar) heuristic(s, v int) float32 {
 	return float32(dx + dy)
 }
 
-func (a *AStar) hint(s, v int) task.Hint {
-	lines := make([]mem.Line, 0, 2+int(a.adj.n[v])+2*a.g.Degree(v))
-	lines = append(lines, a.state.LineOf(s*a.g.N+v))
+// hint builds (s, v)'s hint into buf (typically a recycled task's lines).
+func (a *AStar) hint(buf []mem.Line, s, v int) task.Hint {
+	lines := append(buf, a.state.LineOf(s*a.g.N+v))
 	lines = a.vdata.AppendLines(lines, v)
 	lines = a.adj.appendLines(lines, v)
 	for _, u := range a.g.Neighbors(v) {
@@ -132,7 +132,7 @@ func (a *AStar) hint(s, v int) task.Hint {
 
 func (a *AStar) InitialTasks(emit func(*task.Task)) {
 	for s := 0; s < a.k; s++ {
-		emit(&task.Task{Elem: a.src[s], Arg: int64(s), Hint: a.hint(s, a.src[s])})
+		emit(&task.Task{Elem: a.src[s], Arg: int64(s), Hint: a.hint(nil, s, a.src[s])})
 	}
 }
 
@@ -156,7 +156,11 @@ func (a *AStar) Execute(t *task.Task, ctx *ndp.ExecCtx) int64 {
 			a.nextDist[s][u] = nd
 			if !a.enqueued[s][u] {
 				a.enqueued[s][u] = true
-				ctx.Enqueue(&task.Task{Elem: int(u), Arg: int64(s), Hint: a.hint(s, int(u))})
+				c := ctx.Spawn()
+				c.Elem = int(u)
+				c.Arg = int64(s)
+				c.Hint = a.hint(c.Hint.Lines, s, int(u))
+				ctx.Enqueue(c)
 			}
 		}
 	}

@@ -66,9 +66,9 @@ func (a *BFS) Setup(sys *ndp.System) {
 	a.claimed[a.src] = 0
 }
 
-func (a *BFS) hint(v int) task.Hint {
-	lines := make([]mem.Line, 0, 1+int(a.adj.n[v])+a.g.Degree(v))
-	lines = append(lines, a.vdata.LineOf(v))
+// hint builds v's hint into buf (typically a recycled task's line slice).
+func (a *BFS) hint(buf []mem.Line, v int) task.Hint {
+	lines := append(buf, a.vdata.LineOf(v))
 	lines = a.adj.appendLines(lines, v)
 	for _, u := range a.g.Neighbors(v) {
 		lines = a.vdata.AppendLines(lines, int(u))
@@ -81,7 +81,7 @@ func (a *BFS) hint(v int) task.Hint {
 }
 
 func (a *BFS) InitialTasks(emit func(*task.Task)) {
-	emit(&task.Task{Elem: a.src, Hint: a.hint(a.src)})
+	emit(&task.Task{Elem: a.src, Hint: a.hint(nil, a.src)})
 }
 
 func (a *BFS) Execute(t *task.Task, ctx *ndp.ExecCtx) int64 {
@@ -89,7 +89,10 @@ func (a *BFS) Execute(t *task.Task, ctx *ndp.ExecCtx) int64 {
 	for _, u := range a.g.Neighbors(v) {
 		if a.claimed[u] < 0 {
 			a.claimed[u] = int32(t.TS + 1)
-			ctx.Enqueue(&task.Task{Elem: int(u), Hint: a.hint(int(u))})
+			c := ctx.Spawn()
+			c.Elem = int(u)
+			c.Hint = a.hint(c.Hint.Lines, int(u))
+			ctx.Enqueue(c)
 		}
 	}
 	// ~8 setup instructions plus ~4 per scanned edge.

@@ -77,9 +77,9 @@ func (a *CC) Setup(sys *ndp.System) {
 	}
 }
 
-func (a *CC) hint(v int) task.Hint {
-	lines := make([]mem.Line, 0, 1+int(a.adj.n[v])+a.g.Degree(v))
-	lines = append(lines, a.vdata.LineOf(v))
+// hint builds v's hint into buf (typically a recycled task's line slice).
+func (a *CC) hint(buf []mem.Line, v int) task.Hint {
+	lines := append(buf, a.vdata.LineOf(v))
 	lines = a.adj.appendLines(lines, v)
 	for _, u := range a.g.Neighbors(v) {
 		lines = a.vdata.AppendLines(lines, int(u))
@@ -93,7 +93,7 @@ func (a *CC) hint(v int) task.Hint {
 
 func (a *CC) InitialTasks(emit func(*task.Task)) {
 	for v := 0; v < a.g.N; v++ {
-		emit(&task.Task{Elem: v, Hint: a.hint(v)})
+		emit(&task.Task{Elem: v, Hint: a.hint(nil, v)})
 	}
 }
 
@@ -112,13 +112,19 @@ func (a *CC) Execute(t *task.Task, ctx *ndp.ExecCtx) int64 {
 		if !a.enqueued[v] {
 			a.enqueued[v] = true
 			a.dirty = append(a.dirty, int32(v))
-			ctx.Enqueue(&task.Task{Elem: v, Hint: a.hint(v)})
+			c := ctx.Spawn()
+			c.Elem = v
+			c.Hint = a.hint(c.Hint.Lines, v)
+			ctx.Enqueue(c)
 		}
 		for _, u := range a.g.Neighbors(v) {
 			if !a.enqueued[u] {
 				a.enqueued[u] = true
 				a.dirty = append(a.dirty, u)
-				ctx.Enqueue(&task.Task{Elem: int(u), Hint: a.hint(int(u))})
+				c := ctx.Spawn()
+				c.Elem = int(u)
+				c.Hint = a.hint(c.Hint.Lines, int(u))
+				ctx.Enqueue(c)
 			}
 		}
 	}

@@ -119,12 +119,13 @@ func (a *GCN) chunkNeighbors(v, c int) []int32 {
 	return nbs[lo:hi]
 }
 
-func (a *GCN) partialHint(v, c int) task.Hint {
+// partialHint builds chunk (v, c)'s hint into buf (typically a recycled
+// task's line slice).
+func (a *GCN) partialHint(buf []mem.Line, v, c int) task.Hint {
 	nbs := a.chunkNeighbors(v, c)
-	lines := make([]mem.Line, 0, 2+len(nbs))
 	// Main element: the to-be-updated vertex's feature (design B
 	// co-locates all of a vertex's chunks with it).
-	lines = append(lines, a.feat.LineOf(v))
+	lines := append(buf, a.feat.LineOf(v))
 	lines = a.partials.AppendLines(lines, int(a.chunkOff[v])+c)
 	for _, u := range nbs {
 		lines = a.feat.AppendLines(lines, int(u))
@@ -136,10 +137,10 @@ func (a *GCN) partialHint(v, c int) task.Hint {
 	return h
 }
 
-func (a *GCN) combineHint(v int) task.Hint {
+// combineHint builds v's combine hint into buf.
+func (a *GCN) combineHint(buf []mem.Line, v int) task.Hint {
 	nc := a.chunks(v)
-	lines := make([]mem.Line, 0, 1+int(a.adj.n[v])+nc)
-	lines = append(lines, a.feat.LineOf(v))
+	lines := append(buf, a.feat.LineOf(v))
 	lines = a.adj.appendLines(lines, v)
 	for c := 0; c < nc; c++ {
 		lines = a.partials.AppendLines(lines, int(a.chunkOff[v])+c)
@@ -154,7 +155,7 @@ func (a *GCN) combineHint(v int) task.Hint {
 func (a *GCN) InitialTasks(emit func(*task.Task)) {
 	for v := 0; v < a.g.N; v++ {
 		for c := 0; c < a.chunks(v); c++ {
-			emit(&task.Task{Kind: gcnPartial, Elem: v, Arg: int64(c), Hint: a.partialHint(v, c)})
+			emit(&task.Task{Kind: gcnPartial, Elem: v, Arg: int64(c), Hint: a.partialHint(nil, v, c)})
 		}
 	}
 }
@@ -174,7 +175,11 @@ func (a *GCN) Execute(t *task.Task, ctx *ndp.ExecCtx) int64 {
 		a.psum[slot] = sum
 		// The first chunk of each vertex enqueues the combine task.
 		if c == 0 {
-			ctx.Enqueue(&task.Task{Kind: gcnCombine, Elem: v, Hint: a.combineHint(v)})
+			ct := ctx.Spawn()
+			ct.Kind = gcnCombine
+			ct.Elem = v
+			ct.Hint = a.combineHint(ct.Hint.Lines, v)
+			ctx.Enqueue(ct)
 		}
 		return 8 + int64(len(nbs))*gcnF
 
@@ -185,7 +190,12 @@ func (a *GCN) Execute(t *task.Task, ctx *ndp.ExecCtx) int64 {
 		// Next layer's partial tasks.
 		if (t.TS+1)/2 < int64(a.p.Iters) {
 			for c := 0; c < a.chunks(v); c++ {
-				ctx.Enqueue(&task.Task{Kind: gcnPartial, Elem: v, Arg: int64(c), Hint: a.partialHint(v, c)})
+				pt := ctx.Spawn()
+				pt.Kind = gcnPartial
+				pt.Elem = v
+				pt.Arg = int64(c)
+				pt.Hint = a.partialHint(pt.Hint.Lines, v, c)
+				ctx.Enqueue(pt)
 			}
 		}
 		return int64(a.chunks(v))*gcnF + gcnF*gcnF

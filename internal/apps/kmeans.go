@@ -58,8 +58,9 @@ func (a *KMeans) Setup(sys *ndp.System) {
 	}
 }
 
-func (a *KMeans) hint(i int) task.Hint {
-	h := task.Hint{Lines: []mem.Line{a.parr.LineOf(i)}}
+// hint builds i's hint into buf (typically a recycled task's line slice).
+func (a *KMeans) hint(buf []mem.Line, i int) task.Hint {
+	h := task.Hint{Lines: append(buf, a.parr.LineOf(i))}
 	if a.p.PerfectHints {
 		h.Workload = kmeansK * kmeansDim * 3
 	}
@@ -68,7 +69,7 @@ func (a *KMeans) hint(i int) task.Hint {
 
 func (a *KMeans) InitialTasks(emit func(*task.Task)) {
 	for i := 0; i < a.pts.Len(); i++ {
-		emit(&task.Task{Elem: i, Hint: a.hint(i)})
+		emit(&task.Task{Elem: i, Hint: a.hint(nil, i)})
 	}
 }
 
@@ -82,7 +83,10 @@ func (a *KMeans) Execute(t *task.Task, ctx *ndp.ExecCtx) int64 {
 	}
 	a.assignment[i] = best
 	if t.TS+1 < int64(a.p.Iters) {
-		ctx.Enqueue(&task.Task{Elem: i, Hint: a.hint(i)})
+		c := ctx.Spawn()
+		c.Elem = i
+		c.Hint = a.hint(c.Hint.Lines, i)
+		ctx.Enqueue(c)
 	}
 	// K distance evaluations of Dim dimensions, ~3 ops each.
 	return kmeansK * kmeansDim * 3

@@ -67,9 +67,9 @@ func (a *PageRank) updateDangling() {
 	}
 }
 
-func (a *PageRank) hint(v int) task.Hint {
-	lines := make([]mem.Line, 0, 1+int(a.adj.n[v])+a.rev.Degree(v))
-	lines = append(lines, a.vdata.LineOf(v))
+// hint builds v's hint into buf (typically a recycled task's line slice).
+func (a *PageRank) hint(buf []mem.Line, v int) task.Hint {
+	lines := append(buf, a.vdata.LineOf(v))
 	lines = a.adj.appendLines(lines, v)
 	for _, u := range a.rev.Neighbors(v) {
 		lines = a.vdata.AppendLines(lines, int(u))
@@ -83,7 +83,7 @@ func (a *PageRank) hint(v int) task.Hint {
 
 func (a *PageRank) InitialTasks(emit func(*task.Task)) {
 	for v := 0; v < a.g.N; v++ {
-		emit(&task.Task{Elem: v, Hint: a.hint(v)})
+		emit(&task.Task{Elem: v, Hint: a.hint(nil, v)})
 	}
 }
 
@@ -96,7 +96,10 @@ func (a *PageRank) Execute(t *task.Task, ctx *ndp.ExecCtx) int64 {
 	n := float64(a.g.N)
 	a.next[v] = a.alpha*(sum+a.dangling/n) + (1-a.alpha)/n
 	if t.TS+1 < int64(a.p.Iters) {
-		ctx.Enqueue(&task.Task{Elem: v, Hint: a.hint(v)})
+		c := ctx.Spawn()
+		c.Elem = v
+		c.Hint = a.hint(c.Hint.Lines, v)
+		ctx.Enqueue(c)
 	}
 	// ~10 setup instructions plus ~6 per pulled neighbor (load, divide,
 	// accumulate), matching the per-edge work of Algorithm 1.

@@ -68,9 +68,9 @@ func (a *SSSP) Setup(sys *ndp.System) {
 	a.dist[a.src] = 0
 }
 
-func (a *SSSP) hint(v int) task.Hint {
-	lines := make([]mem.Line, 0, 1+int(a.adj.n[v])+a.g.Degree(v))
-	lines = append(lines, a.vdata.LineOf(v))
+// hint builds v's hint into buf (typically a recycled task's line slice).
+func (a *SSSP) hint(buf []mem.Line, v int) task.Hint {
+	lines := append(buf, a.vdata.LineOf(v))
 	lines = a.adj.appendLines(lines, v)
 	for _, u := range a.g.Neighbors(v) {
 		lines = a.vdata.AppendLines(lines, int(u))
@@ -83,7 +83,7 @@ func (a *SSSP) hint(v int) task.Hint {
 }
 
 func (a *SSSP) InitialTasks(emit func(*task.Task)) {
-	emit(&task.Task{Elem: a.src, Hint: a.hint(a.src)})
+	emit(&task.Task{Elem: a.src, Hint: a.hint(nil, a.src)})
 }
 
 func (a *SSSP) Execute(t *task.Task, ctx *ndp.ExecCtx) int64 {
@@ -99,7 +99,10 @@ func (a *SSSP) Execute(t *task.Task, ctx *ndp.ExecCtx) int64 {
 			a.nextDist[u] = nd
 			if !a.enqueued[u] {
 				a.enqueued[u] = true
-				ctx.Enqueue(&task.Task{Elem: int(u), Hint: a.hint(int(u))})
+				c := ctx.Spawn()
+				c.Elem = int(u)
+				c.Hint = a.hint(c.Hint.Lines, int(u))
+				ctx.Enqueue(c)
 			}
 		}
 	}

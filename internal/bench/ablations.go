@@ -33,17 +33,7 @@ func (r *Runner) runP(app string, d config.Design, cfgMut func(*config.Config), 
 	if pMut != nil {
 		pMut(&p)
 	}
-	k := key(app, d, cfg, p)
-	if res, ok := r.cache[k]; ok {
-		return res
-	}
-	a, err := apps.New(app, p)
-	if err != nil {
-		panic(err)
-	}
-	res := ndp.NewSystem(cfg, d).Run(a)
-	r.cache[k] = res
-	return res
+	return r.runCfg(runSpec{app: app, d: d, cfg: cfg, p: p})
 }
 
 // AblationReplacement compares random vs LRU Traveller Cache replacement.

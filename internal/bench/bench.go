@@ -3,11 +3,23 @@
 // grid for each experiment, derives the same normalized metrics the paper
 // plots, and prints them as text tables. cmd/abndpbench and the root
 // bench_test.go both drive this package.
+//
+// Execution is split into plan and execute phases: each experiment's
+// rendering code is first replayed against a placeholder result to collect
+// the exact (app, design, config, params) run set it needs, the
+// deduplicated union of all requested runs is simulated by a worker pool
+// across GOMAXPROCS goroutines (every simulation stays single-goroutine,
+// so per-run determinism is untouched), and the tables are then rendered
+// in paper order from the completed results — byte-identical to serial
+// execution. See pool.go.
 package bench
 
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 
 	"abndp/internal/apps"
@@ -17,28 +29,59 @@ import (
 	"abndp/internal/stats"
 )
 
-// Runner executes and caches simulation runs for the experiments.
+// Runner executes and caches simulation runs for the experiments. The
+// result caches are concurrency-safe (the worker pool fills them), but a
+// Runner's Run/RunAll entry points are meant for a single goroutine.
 type Runner struct {
-	out   io.Writer
-	base  config.Config
-	quick bool
-	cache map[string]*ndp.Result
-	fcach map[string]*ndp.FunctionalResult
+	out     io.Writer
+	base    config.Config
+	quick   bool
+	workers int
+
+	cache *memo[*ndp.Result]
+	fcach *memo[*ndp.FunctionalResult]
+
+	// Planning state: while planning, run/functional record the requested
+	// run specs instead of simulating, and return placeholders.
+	planning bool
+	planned  map[string]runSpec
+	plannedF map[string]funcSpec
+
+	metrics Metrics
 }
 
 // NewRunner builds a Runner writing its tables to w, using the Table 1
-// configuration as the base.
+// configuration as the base. By default runs execute on GOMAXPROCS worker
+// goroutines; see SetWorkers.
 func NewRunner(w io.Writer) *Runner {
 	return &Runner{
 		out:   w,
 		base:  config.Default(),
-		cache: make(map[string]*ndp.Result),
-		fcach: make(map[string]*ndp.FunctionalResult),
+		cache: newMemo[*ndp.Result](),
+		fcach: newMemo[*ndp.FunctionalResult](),
 	}
 }
 
 // SetQuick shrinks workload sizes (for smoke tests of the harness itself).
 func (r *Runner) SetQuick(q bool) { r.quick = q }
+
+// SetWorkers fixes the worker-pool size for simulation runs: 1 executes
+// every run inline and serially (the pre-parallel behavior), 0 restores
+// the default of GOMAXPROCS.
+func (r *Runner) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	r.workers = n
+}
+
+// Workers returns the effective worker-pool size.
+func (r *Runner) Workers() int {
+	if r.workers > 0 {
+		return r.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // benchSizes are the workload sizes used for the experiments: large enough
 // that execution spans many exchange intervals and the power-law skew
@@ -66,9 +109,32 @@ func (r *Runner) params(app string) apps.Params {
 	return apps.Params{Seed: 42}
 }
 
+// paramsKey fingerprints workload parameters field by field (see
+// config.CanonicalKey for why %+v is not used).
+func paramsKey(p apps.Params) string {
+	var b strings.Builder
+	b.Grow(32)
+	b.WriteString(strconv.Itoa(p.Scale))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(p.Degree))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(p.Iters))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatInt(p.Seed, 10))
+	b.WriteByte('|')
+	if p.PerfectHints {
+		b.WriteByte('t')
+	} else {
+		b.WriteByte('f')
+	}
+	b.WriteByte('|')
+	b.WriteString(p.GraphPath)
+	return b.String()
+}
+
 // key fingerprints a run for the cache.
 func key(app string, d config.Design, cfg config.Config, p apps.Params) string {
-	return fmt.Sprintf("%s|%s|%+v|%+v", app, d, cfg, p)
+	return app + "|" + d.String() + "|" + cfg.CanonicalKey() + "#" + paramsKey(p)
 }
 
 // run simulates (or returns the cached result of) one configuration.
@@ -77,34 +143,71 @@ func (r *Runner) run(app string, d config.Design, mut func(*config.Config)) *ndp
 	if mut != nil {
 		mut(&cfg)
 	}
-	p := r.params(app)
-	k := key(app, d, cfg, p)
-	if res, ok := r.cache[k]; ok {
-		return res
+	return r.runCfg(runSpec{app: app, d: d, cfg: cfg, p: r.params(app)})
+}
+
+// runCfg resolves one fully specified run: during planning it records the
+// spec and returns a placeholder; otherwise it simulates through the
+// singleflight memo cache (or returns the memoized result).
+func (r *Runner) runCfg(spec runSpec) *ndp.Result {
+	k := key(spec.app, spec.d, spec.cfg, spec.p)
+	if r.planning {
+		if _, ok := r.planned[k]; !ok {
+			r.planned[k] = spec
+		}
+		return planResult
 	}
-	a, err := apps.New(app, p)
+	return r.cache.do(k, func() *ndp.Result {
+		r.metrics.addRun()
+		return simulate(spec)
+	})
+}
+
+// simulate executes one run. It is the only place experiments build
+// systems, and is safe to call from worker goroutines: every System (and
+// its RNGs, stats, and engine) is private to the call.
+func simulate(spec runSpec) *ndp.Result {
+	a, err := apps.New(spec.app, spec.p)
 	if err != nil {
 		panic(err)
 	}
-	res := ndp.NewSystem(cfg, d).Run(a)
-	r.cache[k] = res
-	return res
+	return ndp.NewSystem(spec.cfg, spec.d).Run(a)
 }
 
 // functional characterizes a workload once for the host model.
 func (r *Runner) functional(app string) *ndp.FunctionalResult {
 	p := r.params(app)
-	k := fmt.Sprintf("%s|%+v", app, p)
-	if fr, ok := r.fcach[k]; ok {
-		return fr
+	k := app + "#" + paramsKey(p)
+	if r.planning {
+		if _, ok := r.plannedF[k]; !ok {
+			r.plannedF[k] = funcSpec{app: app, p: p}
+		}
+		return planFunctional
 	}
-	a, err := apps.New(app, p)
-	if err != nil {
-		panic(err)
-	}
-	fr := ndp.RunFunctional(r.base, a)
-	r.fcach[k] = fr
-	return fr
+	return r.fcach.do(k, func() *ndp.FunctionalResult {
+		r.metrics.addRun()
+		a, err := apps.New(app, p)
+		if err != nil {
+			panic(err)
+		}
+		return ndp.RunFunctional(r.base, a)
+	})
+}
+
+// planResult is what run returns while planning: every metric the
+// rendering code might read is populated and nonzero, so replaying the
+// render math against it cannot panic. Placeholders are never cached.
+var planResult = func() *ndp.Result {
+	st := stats.NewSystem(1, 1)
+	st.Units[0].ActiveCycles[0] = 1
+	st.Makespan, st.Tasks, st.Steps = 1, 1, 1
+	res := &ndp.Result{Makespan: 1, Seconds: 1, Tasks: 1, Steps: 1, InterHops: 1, Stats: st}
+	res.Energy.CoreSRAM, res.Energy.DRAM, res.Energy.Interconnect, res.Energy.Static = 1, 1, 1, 1
+	return res
+}()
+
+var planFunctional = &ndp.FunctionalResult{
+	Instructions: 1, LineAccesses: 1, Footprint: 1, Tasks: 1, Steps: 1,
 }
 
 // hostSeconds estimates design H's time for a workload.
@@ -129,8 +232,20 @@ var Experiments = []string{
 	"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
 }
 
-// Run executes one experiment by name.
+// Run executes one experiment by name: its run set is simulated by the
+// worker pool, then the tables are rendered from the completed results.
 func (r *Runner) Run(name string) error {
+	if err := r.planAndExecute(name); err != nil {
+		return err
+	}
+	return r.render(name)
+}
+
+// render dispatches one experiment's table/figure output. All simulation
+// requests it makes hit the warmed cache after planAndExecute (a miss
+// falls back to simulating inline, so partial plans stay correct).
+func (r *Runner) render(name string) error {
+	defer r.metrics.timeExperiment(name)()
 	switch name {
 	case "tab1":
 		r.Table1()
@@ -182,15 +297,19 @@ func (r *Runner) Run(name string) error {
 	return nil
 }
 
-// RunAll executes every experiment in paper order, then the ablations.
+// RunAll executes every experiment in paper order, then the ablations. The
+// union of every experiment's run set is deduplicated and simulated up
+// front, so overlapping experiments (most share the design-O defaults)
+// simulate once and the pool sees the widest possible parallelism.
 func (r *Runner) RunAll() {
-	for _, e := range Experiments {
-		if err := r.Run(e); err != nil {
-			panic(err)
-		}
+	names := make([]string, 0, len(Experiments)+len(AblationExperiments))
+	names = append(names, Experiments...)
+	names = append(names, AblationExperiments...)
+	if err := r.planAndExecute(names...); err != nil {
+		panic(err)
 	}
-	for _, e := range AblationExperiments {
-		if err := r.Run(e); err != nil {
+	for _, e := range names {
+		if err := r.render(e); err != nil {
 			panic(err)
 		}
 	}

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics records the harness's own performance — wall-clock per
+// experiment and per phase — so the perf trajectory of the simulator is
+// tracked release over release (BENCH_<date>.json files at the repo root,
+// written by `make bench` / `abndpbench -benchjson`).
+type Metrics struct {
+	Date         string             `json:"date,omitempty"`
+	GoMaxProcs   int                `json:"gomaxprocs"`
+	Workers      int                `json:"workers"`
+	Quick        bool               `json:"quick"`
+	Runs         int64              `json:"runs"`         // simulations executed (cache misses)
+	PlanSeconds  float64            `json:"plan_seconds"` // plan-pass replay time
+	SimSeconds   float64            `json:"sim_seconds"`  // parallel simulation phase
+	Experiments  []ExperimentTiming `json:"experiments"`  // per-experiment render wall-clock
+	TotalSeconds float64            `json:"total_seconds"`
+}
+
+// ExperimentTiming is one experiment's render wall-clock. Under a worker
+// pool the simulations are pre-executed, so this is mostly formatting
+// time; with a single worker it includes the experiment's inline runs —
+// the serial baseline the sim_seconds phase is compared against.
+type ExperimentTiming struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+func (m *Metrics) addRun() { atomic.AddInt64(&m.Runs, 1) }
+
+// timeExperiment starts timing one experiment render; the returned func
+// stops the clock and appends the timing row.
+func (m *Metrics) timeExperiment(name string) func() {
+	start := time.Now()
+	return func() {
+		m.Experiments = append(m.Experiments, ExperimentTiming{
+			Name:    name,
+			Seconds: time.Since(start).Seconds(),
+		})
+	}
+}
+
+// Metrics snapshots the harness timings collected so far.
+func (r *Runner) Metrics() Metrics {
+	m := r.metrics
+	m.GoMaxProcs = runtime.GOMAXPROCS(0)
+	m.Workers = r.Workers()
+	m.Quick = r.quick
+	m.Date = time.Now().Format("2006-01-02T15:04:05Z07:00")
+	for _, e := range m.Experiments {
+		m.TotalSeconds += e.Seconds
+	}
+	m.TotalSeconds += m.PlanSeconds + m.SimSeconds
+	return m
+}
+
+// WriteJSON writes the metrics as an indented JSON file.
+func (m Metrics) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

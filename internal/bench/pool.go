@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"abndp/internal/apps"
+	"abndp/internal/config"
+	"abndp/internal/ndp"
+)
+
+// runSpec fully identifies one timing simulation.
+type runSpec struct {
+	app string
+	d   config.Design
+	cfg config.Config
+	p   apps.Params
+}
+
+// funcSpec fully identifies one functional characterization run.
+type funcSpec struct {
+	app string
+	p   apps.Params
+}
+
+// memo is a concurrency-safe, singleflight memoization cache: concurrent
+// do calls for the same key run fn exactly once and share the result. It
+// replaces the Runner's former unsynchronized map[string]*ndp.Result.
+type memo[V any] struct {
+	mu sync.Mutex
+	m  map[string]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+}
+
+func newMemo[V any]() *memo[V] {
+	return &memo[V]{m: make(map[string]*memoEntry[V])}
+}
+
+// do returns the value for key, computing it with fn on first use. A
+// concurrent do for the same key blocks until the first computation
+// finishes, then shares its value.
+func (c *memo[V]) do(key string, fn func() V) V {
+	c.mu.Lock()
+	e := c.m[key]
+	if e == nil {
+		e = &memoEntry[V]{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val = fn() })
+	return e.val
+}
+
+// cached reports whether key has been computed (or is being computed).
+func (c *memo[V]) cached(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[key] != nil
+}
+
+// planAndExecute collects the run set of the named experiments by
+// replaying their rendering code against placeholder results (output goes
+// to io.Discard), then simulates the deduplicated union on the worker
+// pool. With a single worker there is nothing to overlap, so planning is
+// skipped and runs happen lazily inside render, exactly as the serial
+// harness always has.
+func (r *Runner) planAndExecute(names ...string) error {
+	if r.Workers() <= 1 {
+		return nil
+	}
+	start := time.Now()
+	r.planned = make(map[string]runSpec)
+	r.plannedF = make(map[string]funcSpec)
+	out := r.out
+	r.out, r.planning = io.Discard, true
+	var err error
+	for _, name := range names {
+		if err = r.render(name); err != nil {
+			break
+		}
+	}
+	r.out, r.planning = out, false
+	planned, plannedF := r.planned, r.plannedF
+	r.planned, r.plannedF = nil, nil
+	if err != nil {
+		return err
+	}
+	r.metrics.PlanSeconds += time.Since(start).Seconds()
+
+	start = time.Now()
+	r.executePlan(planned, plannedF)
+	r.metrics.SimSeconds += time.Since(start).Seconds()
+	return nil
+}
+
+// executePlan warms the result caches with every planned run that is not
+// already memoized, spreading the work over the worker pool.
+func (r *Runner) executePlan(planned map[string]runSpec, plannedF map[string]funcSpec) {
+	type job func()
+	var jobs []job
+	// Sorted key order makes the work queue (not the results, which are
+	// deterministic regardless) reproducible run to run.
+	keys := make([]string, 0, len(planned))
+	for k := range planned {
+		if !r.cache.cached(k) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		k, spec := k, planned[k]
+		jobs = append(jobs, func() {
+			r.cache.do(k, func() *ndp.Result {
+				r.metrics.addRun()
+				return simulate(spec)
+			})
+		})
+	}
+	fkeys := make([]string, 0, len(plannedF))
+	for k := range plannedF {
+		if !r.fcach.cached(k) {
+			fkeys = append(fkeys, k)
+		}
+	}
+	sort.Strings(fkeys)
+	for _, k := range fkeys {
+		k, spec := k, plannedF[k]
+		jobs = append(jobs, func() {
+			r.fcach.do(k, func() *ndp.FunctionalResult {
+				r.metrics.addRun()
+				a, err := apps.New(spec.app, spec.p)
+				if err != nil {
+					panic(err)
+				}
+				return ndp.RunFunctional(r.base, a)
+			})
+		})
+	}
+	if len(jobs) == 0 {
+		return
+	}
+
+	workers := r.Workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	queue := make(chan job)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for j := range queue {
+				j()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		queue <- j
+	}
+	close(queue)
+	wg.Wait()
+}

@@ -53,3 +53,12 @@ func (c *ExecCtx) Now() int64 { return c.sys.Engine.Now() }
 func (c *ExecCtx) Enqueue(t *task.Task) {
 	c.children = append(c.children, t)
 }
+
+// Spawn returns a zeroed task for a child enqueue, recycled from tasks
+// retired at earlier bulk-synchronous barriers. Its Hint.Lines is empty but
+// keeps its previous capacity, so apps that build the hint with append
+// usually allocate nothing. The returned task belongs to the runtime once
+// passed to Enqueue; apps must not retain it.
+func (c *ExecCtx) Spawn() *task.Task {
+	return c.sys.taskPool.Get()
+}

@@ -133,6 +133,51 @@ func (s *System) dispatch(u *unit) {
 	}
 }
 
+// completion carries the arguments of one pending task-completion event.
+// Instances are recycled through System.compPool with their fire closure
+// bound once, so scheduling a completion allocates nothing in steady state
+// (the previous code allocated a fresh six-variable closure per task).
+type completion struct {
+	s        *System
+	u        *unit
+	ci       int
+	t        *task.Task
+	dur      int64
+	stall    int64
+	children []*task.Task
+	fire     func()
+}
+
+// newCompletion returns a pooled completion with its closure pre-bound.
+func (s *System) newCompletion() *completion {
+	if n := len(s.compPool); n > 0 {
+		c := s.compPool[n-1]
+		s.compPool[n-1] = nil
+		s.compPool = s.compPool[:n-1]
+		return c
+	}
+	c := &completion{}
+	c.fire = func() {
+		cs, u, ci, t := c.s, c.u, c.ci, c.t
+		dur, stall, children := c.dur, c.stall, c.children
+		*c = completion{fire: c.fire}
+		cs.compPool = append(cs.compPool, c)
+		cs.complete(u, ci, t, dur, stall, children)
+	}
+	return c
+}
+
+// childBuf returns a recycled child-task slice for ExecCtx.children.
+func (s *System) childBuf() []*task.Task {
+	if n := len(s.childBufs); n > 0 {
+		b := s.childBufs[n-1]
+		s.childBufs[n-1] = nil
+		s.childBufs = s.childBufs[:n-1]
+		return b
+	}
+	return nil
+}
+
 // execute models one task on one core: residual prefetch stall, per-access
 // SRAM reads, and the task's computation, then schedules its completion.
 func (s *System) execute(u *unit, ci int, t *task.Task) {
@@ -145,8 +190,12 @@ func (s *System) execute(u *unit, ci int, t *task.Task) {
 		stall = 0
 	}
 
-	ctx := &ExecCtx{sys: s, unit: u.id}
-	instrs := s.app.Execute(t, ctx)
+	// The per-System ExecCtx is reused across tasks; ownership of the
+	// children slice is handed to the completion event below.
+	s.execCtx.sys = s
+	s.execCtx.unit = u.id
+	s.execCtx.children = s.childBuf()
+	instrs := s.app.Execute(t, &s.execCtx)
 
 	st := &s.Stats.Units[u.id]
 	st.StallCycles += stall
@@ -158,8 +207,11 @@ func (s *System) execute(u *unit, ci int, t *task.Task) {
 		dur = 1
 	}
 	u.cores[ci].busy = true
-	children := ctx.children
-	s.Engine.After(dur, func() { s.complete(u, ci, t, dur, stall, children) })
+	c := s.newCompletion()
+	c.s, c.u, c.ci, c.t = s, u, ci, t
+	c.dur, c.stall, c.children = dur, stall, s.execCtx.children
+	s.execCtx.children = nil
+	s.Engine.After(dur, c.fire)
 }
 
 // complete finishes a task: frees the core, posts the main-element write,
@@ -204,10 +256,19 @@ func (s *System) complete(u *unit, ci int, t *task.Task, dur, stall int64, child
 		}
 	}
 
+	// t is dead from here on: queue up its storage for the barrier and
+	// recycle the children slice. Capture t.TS first — a barrier fired
+	// below can hand t out again to a task spawned in the next phase.
+	ts := t.TS
+	s.retired = append(s.retired, t)
+	if children != nil {
+		s.childBufs = append(s.childBufs, children[:0])
+	}
+
 	s.outstanding--
 	if s.outstanding == 0 {
 		s.maybeBarrier()
-		if s.finished || s.curTS != t.TS {
+		if s.finished || s.curTS != ts {
 			return
 		}
 		// Barrier deferred on draining scheduling windows; keep cores fed.
@@ -264,6 +325,13 @@ func (s *System) endTimestamp() {
 		u.pfbuf.Invalidate()
 		u.l1.Invalidate()
 	}
+	// Every task of the finished phase is now unreachable; make their
+	// storage (and hint-line capacity) available to the next phase.
+	for i, t := range s.retired {
+		s.taskPool.Put(t)
+		s.retired[i] = nil
+	}
+	s.retired = s.retired[:0]
 	s.startTimestamp()
 }
 

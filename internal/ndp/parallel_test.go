@@ -1,0 +1,96 @@
+package ndp_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"abndp/internal/apps"
+	"abndp/internal/config"
+	"abndp/internal/ndp"
+)
+
+// digest flattens the externally visible result of a run into a string.
+func digest(r *ndp.Result) string {
+	return fmt.Sprintf("%s|%s|mk=%d|tasks=%d|steps=%d|hops=%d|e=%.6e|imb=%.9f",
+		r.App, r.Design, r.Makespan, r.Tasks, r.Steps, r.InterHops,
+		r.Energy.Total(), r.Stats.ImbalanceRatio())
+}
+
+func quickRun(t *testing.T, d config.Design) *ndp.Result {
+	t.Helper()
+	cfg := config.Default()
+	cfg.UnitBytes = 16 << 20
+	a, err := apps.New("pr", apps.Params{Scale: 8, Degree: 6, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ndp.NewSystem(cfg, d).Run(a)
+}
+
+// TestParallelSystemsShareNoState runs several full simulations
+// concurrently — the exact shape of the bench worker pool — and requires
+// every one to reproduce the serial reference bit for bit. Under `go test
+// -race` this doubles as the guard that System (and everything it reaches:
+// RNGs, stats, caches, engines) has no cross-instance mutable state.
+func TestParallelSystemsShareNoState(t *testing.T) {
+	designs := []config.Design{config.DesignB, config.DesignSl, config.DesignO}
+	want := make(map[config.Design]string)
+	for _, d := range designs {
+		want[d] = digest(quickRun(t, d))
+	}
+
+	const replicas = 3
+	var wg sync.WaitGroup
+	results := make([]string, len(designs)*replicas)
+	for i, d := range designs {
+		for rep := 0; rep < replicas; rep++ {
+			wg.Add(1)
+			go func(slot int, d config.Design) {
+				defer wg.Done()
+				results[slot] = digest(quickRun(t, d))
+			}(i*replicas+rep, d)
+		}
+	}
+	wg.Wait()
+
+	for i, d := range designs {
+		for rep := 0; rep < replicas; rep++ {
+			if got := results[i*replicas+rep]; got != want[d] {
+				t.Errorf("design %s replica %d diverged from serial run:\n got %s\nwant %s",
+					d, rep, got, want[d])
+			}
+		}
+	}
+}
+
+// TestFunctionalRunConcurrent covers the host-model characterization path
+// under the same concurrency.
+func TestFunctionalRunConcurrent(t *testing.T) {
+	cfg := config.Default()
+	cfg.UnitBytes = 16 << 20
+	newApp := func() ndp.App {
+		a, err := apps.New("bfs", apps.Params{Scale: 8, Degree: 6, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	ref := ndp.RunFunctional(cfg, newApp())
+
+	var wg sync.WaitGroup
+	out := make([]*ndp.FunctionalResult, 4)
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = ndp.RunFunctional(cfg, newApp())
+		}(i)
+	}
+	wg.Wait()
+	for i, fr := range out {
+		if *fr != *ref {
+			t.Errorf("concurrent functional run %d = %+v, want %+v", i, fr, ref)
+		}
+	}
+}

@@ -74,6 +74,16 @@ type System struct {
 	tracer            func(TaskTrace) // optional per-task completion callback
 	sampleUtil        bool            // record Stats.Timeline
 
+	// Hot-path recycling (all single-goroutine, like the System itself):
+	// completion events and child-task slices turn around as soon as they
+	// fire; retired tasks wait for the bulk-synchronous barrier, the point
+	// where their lifetime is provably over, before re-entering taskPool.
+	execCtx   ExecCtx
+	compPool  []*completion
+	childBufs [][]*task.Task
+	taskPool  task.Pool
+	retired   []*task.Task
+
 	// Cached energy constants (pJ) and latencies (cycles).
 	sramHitCycles int64
 	dramTagExtra  bool // CacheKind == CacheDRAMTags

@@ -6,17 +6,23 @@
 // this repository fully deterministic for a given seed.
 package sim
 
-import "container/heap"
-
 // Engine is a discrete-event simulator clock and event queue.
 //
 // The zero value is ready to use. Engine is not safe for concurrent use;
 // the whole simulator is single-goroutine by design so that results are
-// reproducible.
+// reproducible. (Distinct Engines on distinct goroutines are independent —
+// the parallel experiment harness relies on that.)
+//
+// The event queue is an inlined 4-ary min-heap over a value-typed slice
+// rather than container/heap: no interface{} boxing on push/pop (zero
+// amortized allocations per event) and a shallower tree with better cache
+// behavior than a binary heap. Events are ordered by (cycle, sequence
+// number), so the pop order — and therefore every simulation result — is
+// identical to the previous container/heap implementation.
 type Engine struct {
 	now int64
 	seq uint64
-	pq  eventHeap
+	pq  []event
 }
 
 type event struct {
@@ -25,23 +31,13 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether a orders strictly before b: earlier cycle first,
+// scheduling order within a cycle.
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Now returns the current simulation time in cycles.
@@ -58,7 +54,8 @@ func (e *Engine) At(t int64, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+	e.pq = append(e.pq, event{at: t, seq: e.seq, fn: fn})
+	e.siftUp(len(e.pq) - 1)
 }
 
 // After schedules fn to run d cycles from now. Negative delays are clamped
@@ -70,13 +67,71 @@ func (e *Engine) After(d int64, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// siftUp restores the heap property after appending at index i.
+func (e *Engine) siftUp(i int) {
+	pq := e.pq
+	ev := pq[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if pq[p].before(&ev) {
+			break
+		}
+		pq[i] = pq[p]
+		i = p
+	}
+	pq[i] = ev
+}
+
+// popMin removes and returns the earliest event.
+func (e *Engine) popMin() event {
+	pq := e.pq
+	min := pq[0]
+	n := len(pq) - 1
+	last := pq[n]
+	pq[n] = event{} // release fn for GC
+	e.pq = pq[:n]
+	if n > 0 {
+		e.siftDown(last, n)
+	}
+	return min
+}
+
+// siftDown places ev, displaced from the root, back into the n-element heap.
+func (e *Engine) siftDown(ev event, n int) {
+	pq := e.pq
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		// Select the earliest of up to four children.
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if pq[j].before(&pq[m]) {
+				m = j
+			}
+		}
+		if ev.before(&pq[m]) {
+			break
+		}
+		pq[i] = pq[m]
+		i = m
+	}
+	pq[i] = ev
+}
+
 // Step executes the earliest pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed.
 func (e *Engine) Step() bool {
 	if len(e.pq) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(event)
+	ev := e.popMin()
 	e.now = ev.at
 	ev.fn()
 	return true

@@ -57,6 +57,34 @@ type Task struct {
 	Stolen bool
 }
 
+// Pool recycles Task objects and their hint-line slices. The NDP runtime
+// retires tasks at the bulk-synchronous barrier — the one point where a
+// task's lifetime is provably over — and hands them back out for the child
+// tasks of later timestamps, so steady-state execution allocates neither
+// tasks nor hint slices. A Pool is single-goroutine, like the simulator
+// that owns it; the zero value is ready to use.
+type Pool struct {
+	free []*Task
+}
+
+// Get returns a zeroed task. Recycled tasks keep the capacity of their
+// previous hint-line slice, so refilling the hint usually allocates nothing.
+func (p *Pool) Get() *Task {
+	n := len(p.free)
+	if n == 0 {
+		return &Task{}
+	}
+	t := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	lines := t.Hint.Lines[:0]
+	*t = Task{Hint: Hint{Lines: lines}}
+	return t
+}
+
+// Put recycles t. The caller must not retain t or its hint lines.
+func (p *Pool) Put(t *Task) { p.free = append(p.free, t) }
+
 // Queue is one NDP unit's task queue: a FIFO supporting front pops by the
 // cores, window indexing by the prefetch unit, and tail steals by remote
 // units (work stealing takes the tasks furthest from execution).

@@ -108,6 +108,30 @@ func TestQueueCompaction(t *testing.T) {
 	}
 }
 
+func TestPoolRecyclesTasksAndHintCapacity(t *testing.T) {
+	var p Pool
+	a := p.Get()
+	a.Elem = 7
+	a.Hint.Lines = append(a.Hint.Lines, mem.Line(1), mem.Line(2), mem.Line(3))
+	keepCap := cap(a.Hint.Lines)
+	p.Put(a)
+
+	b := p.Get()
+	if b != a {
+		t.Fatal("Get did not return the recycled task")
+	}
+	if b.Elem != 0 || b.Prefetched || b.TS != 0 {
+		t.Fatalf("recycled task not zeroed: %+v", b)
+	}
+	if len(b.Hint.Lines) != 0 || cap(b.Hint.Lines) != keepCap {
+		t.Fatalf("hint lines len=%d cap=%d, want len 0 cap %d",
+			len(b.Hint.Lines), cap(b.Hint.Lines), keepCap)
+	}
+	if c := p.Get(); c == b {
+		t.Fatal("Get returned a task still in use")
+	}
+}
+
 // Property: any sequence of pushes, pops, and steals preserves the multiset
 // and relative FIFO order of surviving tasks.
 func TestQueueOrderProperty(t *testing.T) {
