@@ -16,11 +16,13 @@ test:
 	$(GO) test ./...
 
 # Micro-benchmarks + per-figure harness smoke benchmarks, then a quick
-# harness run that records its wall-clock breakdown in BENCH_<date>.json
-# (plan/simulate phase times, runs executed, per-experiment render times).
+# harness run that records its wall-clock breakdown in BENCH_<stamp>.json
+# (plan/simulate phase times, runs executed, peak RSS, allocation totals,
+# per-experiment render times). The stamp includes the time of day so
+# same-day runs accumulate instead of overwriting each other.
 bench:
 	$(GO) test -bench=. -benchmem ./...
-	$(GO) run ./cmd/abndpbench -quick -benchjson BENCH_$(shell date +%Y%m%d).json >/dev/null
+	$(GO) run ./cmd/abndpbench -quick -benchjson BENCH_$(shell date +%Y%m%d_%H%M%S).json >/dev/null
 
 # Regenerate every table and figure of the paper (text tables to stdout).
 experiments:

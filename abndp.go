@@ -24,6 +24,7 @@ package abndp
 
 import (
 	"fmt"
+	"io"
 
 	"abndp/internal/apps"
 	"abndp/internal/config"
@@ -31,6 +32,7 @@ import (
 	"abndp/internal/host"
 	"abndp/internal/mem"
 	"abndp/internal/ndp"
+	"abndp/internal/obs"
 	"abndp/internal/stats"
 	"abndp/internal/task"
 	"abndp/internal/topology"
@@ -177,6 +179,47 @@ func RunAppTraced(app App, d Design, cfg Config, tracer func(TaskTrace)) (*Resul
 	if tracer != nil {
 		sys.SetTaskTracer(tracer)
 	}
+	return sys.Run(app), nil
+}
+
+// Observer bundles the optional observability sinks of a run: a Perfetto
+// tracer, phase-resolved metrics, and the counter-sampling interval.
+// Observability is strictly read-only — simulated results are
+// byte-identical with and without it.
+type Observer = obs.Observer
+
+// Tracer streams a Chrome trace-event / Perfetto JSON trace.
+type Tracer = obs.Tracer
+
+// ObsMetrics holds the phase-resolved metric histograms of a run.
+type ObsMetrics = obs.Metrics
+
+// NewTracer returns a Tracer writing Perfetto JSON to w, converting core
+// cycles at coreGHz (Config.CoreGHz) to trace microseconds. Call Close
+// when the run finishes to terminate the JSON document and flush.
+func NewTracer(w io.Writer, coreGHz float64) *Tracer { return obs.NewTracer(w, coreGHz) }
+
+// StartDebugServer serves expvar and net/http/pprof on addr (e.g.
+// ":6060") in the background, returning the bound address.
+func StartDebugServer(addr string) (string, error) { return obs.StartDebugServer(addr) }
+
+// RunAppObserved is RunApp with the observability subsystem installed:
+// o.Trace receives the Perfetto trace, o.Metrics (when non-nil) ends up in
+// Result.Stats.Obs, and tracer (when non-nil) receives per-task
+// completion records exactly as in RunAppTraced.
+func RunAppObserved(app App, d Design, cfg Config, o *Observer, tracer func(TaskTrace)) (*Result, error) {
+	if d == DesignH {
+		return nil, fmt.Errorf("abndp: design H is the host baseline; use RunHost")
+	}
+	applied := d.Apply(cfg)
+	if err := applied.Validate(); err != nil {
+		return nil, err
+	}
+	sys := ndp.NewSystem(cfg, d)
+	if tracer != nil {
+		sys.SetTaskTracer(tracer)
+	}
+	sys.SetObserver(o)
 	return sys.Run(app), nil
 }
 

@@ -19,10 +19,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"abndp/internal/bench"
+	"abndp/internal/obs"
 )
 
 func main() {
@@ -33,11 +36,40 @@ func main() {
 		jobs   = flag.Int("j", 0, "worker goroutines for simulation runs (0 = GOMAXPROCS)")
 		serial = flag.Bool("serial", false, "run simulations one at a time (equivalent to -j 1)")
 		bjson  = flag.String("benchjson", "", "write per-experiment wall-clock metrics to this JSON file (e.g. BENCH_20260805.json)")
+		prog   = flag.Bool("progress", false, "report per-experiment and per-run progress to stderr")
+		srv    = flag.String("pprof", "", "serve pprof+expvar debug HTTP on this address (e.g. :6060)")
+		cpup   = flag.String("cpuprofile", "", "write a CPU profile of the harness to this file")
+		memp   = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	)
 	flag.Parse()
 
+	if *srv != "" {
+		addr, err := obs.StartDebugServer(*srv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "abndpbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "abndpbench: debug server at http://%s/debug/pprof/\n", addr)
+	}
+	if *cpup != "" {
+		f, err := os.Create(*cpup)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "abndpbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "abndpbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	r := bench.NewRunner(os.Stdout)
 	r.SetQuick(*quick)
+	if *prog {
+		r.SetProgress(os.Stderr)
+	}
 	if *serial {
 		r.SetWorkers(1)
 	} else {
@@ -68,6 +100,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "abndpbench:", err)
 			os.Exit(1)
 		}
+	}
+	if *memp != "" {
+		f, err := os.Create(*memp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "abndpbench:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "abndpbench:", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 	fmt.Printf("\ncompleted in %.1fs\n", time.Since(start).Seconds())
 }

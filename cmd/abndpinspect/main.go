@@ -9,6 +9,8 @@
 //	abndpinspect hops                       # stack hop-distance matrix
 //	abndpinspect heat -app pr -design O     # per-unit active-cycle heat map
 //	abndpinspect timeline -app pr           # core utilization over time
+//	abndpinspect trace -in tasks.jsonl      # per-unit summary of a -trace recording
+//	abndpinspect queues -in trace.json      # counter tracks of a -perfetto recording
 package main
 
 import (
@@ -36,6 +38,7 @@ func main() {
 		design = fs.String("design", "O", "design (heat command)")
 		scale  = fs.Int("scale", 0, "workload scale (heat command)")
 		metric = fs.String("metric", "cycles", "heat metric: cycles, tasks, dram, hops")
+		in     = fs.String("in", "", "recorded trace file (trace: JSONL from -trace; queues: JSON from -perfetto)")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		fatal(err)
@@ -57,13 +60,23 @@ func main() {
 		heat(cfg, *appN, *design, *scale, *metric)
 	case "timeline":
 		timeline(cfg, *appN, *scale)
+	case "trace":
+		if *in == "" {
+			fatal(fmt.Errorf("trace: -in <tasks.jsonl> required (record with abndpsim -trace)"))
+		}
+		traceSummary(*in)
+	case "queues":
+		if *in == "" {
+			fatal(fmt.Errorf("queues: -in <trace.json> required (record with abndpsim -perfetto)"))
+		}
+		queuesSummary(*in)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: abndpinspect {layout|camps|hops|heat|timeline} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: abndpinspect {layout|camps|hops|heat|timeline|trace|queues} [flags]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"abndp"
+)
+
+// traceSummary reads a JSONL per-task trace (abndpsim -trace) and prints a
+// per-unit execution summary table.
+func traceSummary(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	type unitAgg struct {
+		tasks, stolen, forwarded int64
+		dur, stall               int64
+		lines                    int64
+	}
+	agg := map[abndp.UnitID]*unitAgg{}
+	var total unitAgg
+	var maxTS, lastCycle int64
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		var t abndp.TaskTrace
+		if err := json.Unmarshal(sc.Bytes(), &t); err != nil {
+			fatal(fmt.Errorf("%s line %d: %w", path, n+1, err))
+		}
+		n++
+		a := agg[t.Unit]
+		if a == nil {
+			a = &unitAgg{}
+			agg[t.Unit] = a
+		}
+		for _, x := range []*unitAgg{a, &total} {
+			x.tasks++
+			x.dur += t.Dur
+			x.stall += t.Stall
+			x.lines += int64(t.Lines)
+			if t.Stolen {
+				x.stolen++
+			}
+			if t.Origin != t.Unit {
+				x.forwarded++
+			}
+		}
+		if t.TS > maxTS {
+			maxTS = t.TS
+		}
+		if t.Cycle > lastCycle {
+			lastCycle = t.Cycle
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if n == 0 {
+		fatal(fmt.Errorf("%s: no task records", path))
+	}
+
+	units := make([]abndp.UnitID, 0, len(agg))
+	for u := range agg {
+		units = append(units, u)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i] < units[j] })
+
+	fmt.Printf("%s: %d tasks over %d timestamps, last completion at cycle %d\n\n",
+		path, n, maxTS+1, lastCycle)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "unit\ttasks\tin\tstolen\tbusy cyc\tmean dur\tstall cyc\tstall/task\t")
+	for _, u := range units {
+		a := agg[u]
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%.1f\t%d\t%.1f\t\n",
+			u, a.tasks, a.forwarded, a.stolen, a.dur,
+			float64(a.dur)/float64(a.tasks), a.stall,
+			float64(a.stall)/float64(a.tasks))
+	}
+	fmt.Fprintf(tw, "all\t%d\t%d\t%d\t%d\t%.1f\t%d\t%.1f\t\n",
+		total.tasks, total.forwarded, total.stolen, total.dur,
+		float64(total.dur)/float64(total.tasks), total.stall,
+		float64(total.stall)/float64(total.tasks))
+	tw.Flush()
+}
+
+// queuesSummary reads a Perfetto trace (abndpsim -perfetto) and summarizes
+// every counter track: sample count, min, mean, max, and final value.
+func queuesSummary(path string) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Name string  `json:"name"`
+			TS   float64 `json:"ts"`
+			Args struct {
+				Name  string  `json:"name"`
+				Value float64 `json:"value"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+
+	procs := map[int]string{}
+	type track struct {
+		pid           int
+		name          string
+		n             int64
+		min, max, sum float64
+		last, lastTS  float64
+	}
+	tracks := map[[2]string]*track{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				procs[ev.Pid] = ev.Args.Name
+			}
+		case "C":
+			key := [2]string{fmt.Sprint(ev.Pid), ev.Name}
+			tr := tracks[key]
+			if tr == nil {
+				tr = &track{pid: ev.Pid, name: ev.Name, min: ev.Args.Value, max: ev.Args.Value}
+				tracks[key] = tr
+			}
+			v := ev.Args.Value
+			tr.n++
+			tr.sum += v
+			if v < tr.min {
+				tr.min = v
+			}
+			if v > tr.max {
+				tr.max = v
+			}
+			if ev.TS >= tr.lastTS {
+				tr.lastTS, tr.last = ev.TS, v
+			}
+		}
+	}
+	if len(tracks) == 0 {
+		fatal(fmt.Errorf("%s: no counter tracks (was the trace recorded with -perfetto?)", path))
+	}
+
+	list := make([]*track, 0, len(tracks))
+	for _, tr := range tracks {
+		list = append(list, tr)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].pid != list[j].pid {
+			return list[i].pid < list[j].pid
+		}
+		return list[i].name < list[j].name
+	})
+
+	fmt.Printf("%s: %d counter tracks\n\n", path, len(list))
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "process\tcounter\tsamples\tmin\tmean\tmax\tlast\t")
+	for _, tr := range list {
+		proc := procs[tr.pid]
+		if proc == "" {
+			proc = fmt.Sprintf("pid %d", tr.pid)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.0f\t%.1f\t%.0f\t%.0f\t\n",
+			proc, tr.name, tr.n, tr.min, tr.sum/float64(tr.n), tr.max, tr.last)
+	}
+	tw.Flush()
+}

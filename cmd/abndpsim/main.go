@@ -6,13 +6,18 @@
 //	abndpsim -app pr -design O
 //	abndpsim -app spmv -design Sl -scale 13 -degree 16
 //	abndpsim -app pr -design O -mesh 8 -campcount 7 -ratio 32
+//	abndpsim -app pr -design O -perfetto trace.json -metrics phases.csv
+//	abndpsim -app pr -design O -pprof :6060 -cpuprofile cpu.out
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"abndp"
@@ -40,8 +45,33 @@ func main() {
 		perfect  = flag.Bool("perfect-hints", false, "supply exact workload hints to the scheduler")
 		trace    = flag.String("trace", "", "write a JSONL per-task completion trace to this file")
 		graphIn  = flag.String("graph", "", "load the input graph from a file (SNAP edge list or .mtx)")
+		perfetto = flag.String("perfetto", "", "write a Perfetto/Chrome trace-event JSON trace to this file")
+		metricsF = flag.String("metrics", "", "write phase-resolved observability metrics as CSV to this file")
+		sample   = flag.Int64("sample-interval", 1024, "counter-sampling interval in cycles for -perfetto")
+		pprofSrv = flag.String("pprof", "", "serve pprof+expvar debug HTTP on this address (e.g. :6060)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	)
 	flag.Parse()
+
+	if *pprofSrv != "" {
+		addr, err := abndp.StartDebugServer(*pprofSrv)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "abndpsim: debug server at http://%s/debug/pprof/\n", addr)
+	}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := abndp.DefaultConfig()
 	cfg.MeshX, cfg.MeshY = *mesh, *mesh
@@ -82,23 +112,95 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// The JSONL task trace is buffered and flushed explicitly after the
+	// run: encode errors are recorded (not fatal'd mid-simulation, which
+	// would skip the deferred cleanup) and reported once at close.
 	var tracer func(abndp.TaskTrace)
+	var closeTrace func() error
 	if *trace != "" {
 		f, err := os.Create(*trace)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		enc := json.NewEncoder(f)
+		bw := bufio.NewWriterSize(f, 1<<16)
+		enc := json.NewEncoder(bw)
+		var traceErr error
 		tracer = func(t abndp.TaskTrace) {
-			if err := enc.Encode(t); err != nil {
-				fatal(err)
+			if traceErr == nil {
+				traceErr = enc.Encode(t)
 			}
 		}
+		closeTrace = func() error {
+			if err := bw.Flush(); err != nil && traceErr == nil {
+				traceErr = err
+			}
+			if err := f.Close(); err != nil && traceErr == nil {
+				traceErr = err
+			}
+			return traceErr
+		}
 	}
-	res, err := abndp.RunAppTraced(app, d, cfg, tracer)
+
+	var o *abndp.Observer
+	var perfF *os.File
+	var perfT *abndp.Tracer
+	if *perfetto != "" || *metricsF != "" {
+		o = &abndp.Observer{}
+		if *perfetto != "" {
+			var err error
+			if perfF, err = os.Create(*perfetto); err != nil {
+				fatal(err)
+			}
+			perfT = abndp.NewTracer(perfF, cfg.CoreGHz)
+			o.Trace = perfT
+			o.SampleInterval = *sample
+		}
+		if *metricsF != "" {
+			o.Metrics = &abndp.ObsMetrics{}
+		}
+	}
+
+	res, err := abndp.RunAppObserved(app, d, cfg, o, tracer)
 	if err != nil {
 		fatal(err)
+	}
+	if closeTrace != nil {
+		if err := closeTrace(); err != nil {
+			fatal(fmt.Errorf("writing %s: %w", *trace, err))
+		}
+	}
+	if perfT != nil {
+		if err := perfT.Close(); err != nil {
+			fatal(fmt.Errorf("writing %s: %w", *perfetto, err))
+		}
+		if err := perfF.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "abndpsim: wrote %d trace events to %s (open in https://ui.perfetto.dev)\n",
+			perfT.Events(), *perfetto)
+	}
+	if *metricsF != "" {
+		f, err := os.Create(*metricsF)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Stats.Obs.WriteCSV(f); err != nil {
+			fatal(fmt.Errorf("writing %s: %w", *metricsF, err))
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
 	}
 	fmt.Printf("app=%s design=%s\n", res.App, res.Design)
 	fmt.Printf("  cycles        %d (%.3f ms)\n", res.Makespan, res.Seconds*1e3)

@@ -33,10 +33,11 @@ import (
 // result caches are concurrency-safe (the worker pool fills them), but a
 // Runner's Run/RunAll entry points are meant for a single goroutine.
 type Runner struct {
-	out     io.Writer
-	base    config.Config
-	quick   bool
-	workers int
+	out      io.Writer
+	base     config.Config
+	quick    bool
+	workers  int
+	progress io.Writer // nil: no live progress reporting
 
 	cache *memo[*ndp.Result]
 	fcach *memo[*ndp.FunctionalResult]
@@ -73,6 +74,18 @@ func (r *Runner) SetWorkers(n int) {
 		n = 0
 	}
 	r.workers = n
+}
+
+// SetProgress makes the Runner report live per-experiment and per-run
+// progress to w (typically os.Stderr, so it interleaves with the tables on
+// stdout without corrupting them). Nil disables reporting.
+func (r *Runner) SetProgress(w io.Writer) { r.progress = w }
+
+// progressf prints one progress line when reporting is enabled.
+func (r *Runner) progressf(format string, args ...any) {
+	if r.progress != nil {
+		fmt.Fprintf(r.progress, format, args...)
+	}
 }
 
 // Workers returns the effective worker-pool size.
@@ -245,6 +258,9 @@ func (r *Runner) Run(name string) error {
 // requests it makes hit the warmed cache after planAndExecute (a miss
 // falls back to simulating inline, so partial plans stay correct).
 func (r *Runner) render(name string) error {
+	if !r.planning {
+		r.progressf("render %s\n", name)
+	}
 	defer r.metrics.timeExperiment(name)()
 	switch name {
 	case "tab1":

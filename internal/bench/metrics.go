@@ -22,6 +22,14 @@ type Metrics struct {
 	SimSeconds   float64            `json:"sim_seconds"`  // parallel simulation phase
 	Experiments  []ExperimentTiming `json:"experiments"`  // per-experiment render wall-clock
 	TotalSeconds float64            `json:"total_seconds"`
+
+	// Process-wide resource footprint, snapshotted when the metrics are
+	// collected: OS peak resident set (0 on platforms without getrusage)
+	// and the Go runtime's cumulative allocation counters.
+	PeakRSSBytes    int64  `json:"peak_rss_bytes"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	Mallocs         uint64 `json:"mallocs"`
+	NumGC           uint32 `json:"num_gc"`
 }
 
 // ExperimentTiming is one experiment's render wall-clock. Under a worker
@@ -54,6 +62,10 @@ func (r *Runner) Metrics() Metrics {
 	m.Workers = r.Workers()
 	m.Quick = r.quick
 	m.Date = time.Now().Format("2006-01-02T15:04:05Z07:00")
+	m.PeakRSSBytes = peakRSSBytes()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.TotalAllocBytes, m.Mallocs, m.NumGC = ms.TotalAlloc, ms.Mallocs, ms.NumGC
 	for _, e := range m.Experiments {
 		m.TotalSeconds += e.Seconds
 	}

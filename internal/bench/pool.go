@@ -4,11 +4,20 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"abndp/internal/apps"
 	"abndp/internal/config"
 	"abndp/internal/ndp"
+	"abndp/internal/obs"
+)
+
+// Expvar gauges for the -pprof debug endpoint: how much of the planned run
+// set the worker pool has finished, live.
+var (
+	expRunsPlanned = obs.Published("bench_runs_planned")
+	expRunsDone    = obs.Published("bench_runs_done")
 )
 
 // runSpec fully identifies one timing simulation.
@@ -145,6 +154,9 @@ func (r *Runner) executePlan(planned map[string]runSpec, plannedF map[string]fun
 	if len(jobs) == 0 {
 		return
 	}
+	expRunsPlanned.Add(int64(len(jobs)))
+	r.progressf("simulating %d runs on %d workers\n", len(jobs), r.Workers())
+	var done atomic.Int64
 
 	workers := r.Workers()
 	if workers > len(jobs) {
@@ -158,6 +170,10 @@ func (r *Runner) executePlan(planned map[string]runSpec, plannedF map[string]fun
 			defer wg.Done()
 			for j := range queue {
 				j()
+				expRunsDone.Add(1)
+				if d := done.Add(1); r.progress != nil && (d%8 == 0 || d == int64(len(jobs))) {
+					r.progressf("  sim %d/%d\n", d, len(jobs))
+				}
 			}
 		}()
 	}

@@ -1,0 +1,6 @@
+//go:build !linux
+
+package bench
+
+// peakRSSBytes is unavailable without getrusage; the metrics field stays 0.
+func peakRSSBytes() int64 { return 0 }

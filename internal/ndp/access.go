@@ -16,6 +16,9 @@ func (s *System) chargeMsg(r, from, to topology.UnitID, bytes int) {
 	if from == to {
 		return
 	}
+	if s.obsM != nil {
+		s.obsM.Message()
+	}
 	st := &s.Stats.Units[r]
 	st.InterHops += int64(s.Noc.Hops(from, to))
 	if s.Topo.SameStack(from, to) {
@@ -36,6 +39,9 @@ func (s *System) dramAccess(at topology.UnitID, l mem.Line, write bool) int64 {
 	st := &s.Stats.Units[at]
 	lat, queued, pj := s.units[at].dram.Access(s.Engine.Now(), l)
 	st.DRAMQueueCycles += queued
+	if s.obsM != nil {
+		s.obsM.DRAMAccess(queued, write)
+	}
 	if write {
 		st.DRAMWrites++
 	} else {
@@ -73,6 +79,9 @@ func (s *System) portInject(from, to topology.UnitID, t int64) int64 {
 		dir = 3 // -Y
 	}
 	port := int(sf)*4 + dir
+	if s.obsM != nil {
+		s.obsM.LinkInject(port)
+	}
 	now := s.Engine.Now()
 	if now > s.portLastT[port] {
 		s.portBacklog[port] -= now - s.portLastT[port]
@@ -147,7 +156,11 @@ func (s *System) transfer(u topology.UnitID, l mem.Line, now int64) int64 {
 		t += s.sramHitCycles
 	}
 
-	if cu.cache.Probe(l) {
+	hit := cu.cache.Probe(l)
+	if s.obsM != nil {
+		s.obsM.TravellerProbe(hit)
+	}
+	if hit {
 		if s.sramData {
 			s.sramTouch(c)
 			t += s.sramHitCycles
@@ -182,7 +195,11 @@ func (s *System) transfer(u topology.UnitID, l mem.Line, now int64) int64 {
 	t = s.portInject(home, u, t)
 	arrive := t + s.Noc.Latency(home, u)
 
-	if cu.cache.Insert(l) {
+	inserted := cu.cache.Insert(l)
+	if s.obsM != nil {
+		s.obsM.TravellerInsert(inserted)
+	}
+	if inserted {
 		// The camp copy rides along with the response (multicast at the
 		// home's port), so it costs energy and a cache write but no
 		// extra port serialization.
@@ -224,7 +241,11 @@ func (s *System) probeRemainingCamps(u, first topology.UnitID, l mem.Line, t int
 			s.sramTouch(c)
 			t += s.sramHitCycles
 		}
-		if s.units[c].cache.Probe(l) {
+		hit := s.units[c].cache.Probe(l)
+		if s.obsM != nil {
+			s.obsM.TravellerProbe(hit)
+		}
+		if hit {
 			if s.sramData {
 				s.sramTouch(c)
 				t += s.sramHitCycles

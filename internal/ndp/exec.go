@@ -10,6 +10,9 @@ import (
 // app is stored on the System for the duration of one Run.
 func (s *System) Run(app App) *Result {
 	s.app = app
+	if s.observer != nil {
+		s.obsStart()
+	}
 	app.Setup(s)
 
 	// Timestamp-0 tasks originate at their main element's home unit, as
@@ -36,6 +39,7 @@ func (s *System) Run(app App) *Result {
 	if !s.finished {
 		panic("ndp: simulation drained events with tasks outstanding")
 	}
+	s.obsEnd()
 	return s.finalize()
 }
 
@@ -63,6 +67,9 @@ func (s *System) startTimestamp() {
 	}
 	s.curTS++
 	s.Stats.Steps++
+	if s.observer != nil {
+		s.obsBeginPhase(s.curTS)
+	}
 	batch := s.pending
 	s.pending = nil
 	s.outstanding = int64(len(batch))
@@ -223,6 +230,13 @@ func (s *System) complete(u *unit, ci int, t *task.Task, dur, stall int64, child
 	st := &s.Stats.Units[u.id]
 	st.TasksRun++
 	s.Stats.Tasks++
+
+	if s.observer != nil {
+		s.obsTaskSpan(u, ci, taskSpan{
+			kind: t.Kind, elem: t.Elem,
+			end: s.Engine.Now(), dur: dur, stall: stall, stolen: t.Stolen,
+		})
+	}
 
 	if s.tracer != nil {
 		s.tracer(TaskTrace{
@@ -430,6 +444,9 @@ func (s *System) arriveSteal(u *unit, victim topology.UnitID) {
 	}
 	u.stealInFlight = false
 	u.stealBackoff = 0
+	if s.observer != nil {
+		s.obsSteal(u.id, victim, len(stolen))
+	}
 	for _, t := range stolen {
 		s.trueW[victim] -= t.Hint.EstimatedWorkload()
 		s.trueW[u.id] += t.Hint.EstimatedWorkload()

@@ -1,0 +1,164 @@
+package ndp
+
+import (
+	"strconv"
+
+	"abndp/internal/obs"
+	"abndp/internal/topology"
+)
+
+// SetObserver installs the observability subsystem for the next Run. Pass
+// nil to disable (the default). Observability is strictly read-only: every
+// probe reads simulator state but never mutates it, so the simulated
+// results of a run are byte-identical with and without an observer (see
+// TestObservabilityDoesNotPerturbResults).
+func (s *System) SetObserver(o *obs.Observer) {
+	if !o.Enabled() {
+		o = nil
+	}
+	s.observer = o
+}
+
+// obsPidSystem returns the trace pid of the synthetic "system" process that
+// carries the machine-wide counter tracks and barrier instants.
+func (s *System) obsPidSystem() int { return len(s.units) }
+
+// obsStart arms the installed observer at the beginning of Run: trace
+// track metadata, phase-metric sizing, the scheduler score hook, the
+// engine occupancy probe, and the periodic counter sampler.
+func (s *System) obsStart() {
+	o := s.observer
+	s.obsM, s.obsT = o.Metrics, o.Trace
+
+	if m := s.obsM; m != nil {
+		m.Init(len(s.units), s.Topo.Stacks()*4)
+		s.Stats.Obs = m
+		s.Engine.Probe = func(at int64, pending int) { m.Event(pending) }
+		s.Sched.SetScoreHook(func(origin, target topology.UnitID, memCost, loadTerm float64) {
+			m.SchedDecision(target != origin, memCost, loadTerm)
+		})
+	}
+
+	if t := s.obsT; t != nil {
+		// One trace process per NDP unit (threads: its cores), plus the
+		// "system" process for machine-wide counters. The DRAM channel of
+		// each unit appears as that unit's per-process counter track.
+		sys := s.obsPidSystem()
+		t.ProcessName(sys, "system")
+		t.ProcessSortIndex(sys, -1)
+		for i, u := range s.units {
+			t.ProcessName(i, "unit "+strconv.Itoa(i)+" (stack "+strconv.Itoa(int(s.Topo.StackOf(u.id)))+")")
+			t.ProcessSortIndex(i, i)
+			for c := range u.cores {
+				t.ThreadName(i, c, "core "+strconv.Itoa(c))
+			}
+		}
+	}
+	s.scheduleObsSample()
+}
+
+// obsEnd closes the final phase at the makespan.
+func (s *System) obsEnd() {
+	if s.obsM != nil {
+		s.obsM.EndRun(s.Stats.Makespan)
+	}
+}
+
+// obsBeginPhase marks the start of bulk-synchronous timestamp ts.
+func (s *System) obsBeginPhase(ts int64) {
+	now := s.Engine.Now()
+	if s.obsM != nil {
+		s.obsM.BeginPhase(ts, now)
+	}
+	if s.obsT != nil {
+		s.obsT.Instant(s.obsPidSystem(), 0, "timestamp "+strconv.FormatInt(ts, 10), now)
+	}
+}
+
+// obsTaskSpan emits the execution span of one completed task and counts it
+// in the current phase.
+func (s *System) obsTaskSpan(u *unit, ci int, t taskSpan) {
+	if s.obsM != nil {
+		s.obsM.TaskDone(t.stolen)
+	}
+	if tr := s.obsT; tr != nil {
+		tr.Span(int(u.id), ci, tr.KindName(t.kind), t.end-t.dur, t.dur,
+			"elem", t.elem, "stall", t.stall, "stolen", t.stolen)
+	}
+}
+
+// taskSpan carries the completed-task fields the probes need, decoupled
+// from *task.Task so the probe call sites stay one line.
+type taskSpan struct {
+	kind, elem int
+	end, dur   int64
+	stall      int64
+	stolen     bool
+}
+
+// obsSteal notes a successful work-stealing round trip on the thief's
+// trace track.
+func (s *System) obsSteal(thief, victim topology.UnitID, n int) {
+	if s.obsT != nil {
+		s.obsT.Instant(int(thief), 0, "steal", s.Engine.Now(), "victim", int(victim), "tasks", n)
+	}
+}
+
+// scheduleObsSample arms the periodic counter sampler: every
+// Observer.SampleInterval cycles it emits the machine-wide counter tracks
+// (busy cores, queued tasks, DRAM backlog, Traveller hit rate) and the
+// per-unit queue-depth / DRAM-backlog tracks. Sampling events never mutate
+// simulator state, so — like SetUtilizationSampling — they do not perturb
+// results.
+func (s *System) scheduleObsSample() {
+	if s.observer == nil || s.observer.SampleInterval <= 0 || s.obsT == nil {
+		return
+	}
+	s.Engine.After(s.observer.SampleInterval, func() {
+		if s.finished {
+			return
+		}
+		s.obsSample()
+		s.scheduleObsSample()
+	})
+}
+
+// obsSample emits one set of counter samples at the current cycle.
+func (s *System) obsSample() {
+	t := s.obsT
+	now := s.Engine.Now()
+	sys := s.obsPidSystem()
+
+	busy := 0
+	queued := 0
+	var backlog int64
+	var travHits, travMisses int64
+	for _, u := range s.units {
+		for _, c := range u.cores {
+			if c.busy {
+				busy++
+			}
+		}
+		q := u.queue.Len() + len(u.schedQ)
+		queued += q
+		ub := u.dram.NextFree() - now
+		if ub < 0 {
+			ub = 0
+		}
+		backlog += ub
+		t.Counter(int(u.id), "queue depth", now, float64(q))
+		t.Counter(int(u.id), "dram backlog cycles", now, float64(ub))
+		if u.cache != nil {
+			h, m, _, _ := u.cache.Stats()
+			travHits += h
+			travMisses += m
+		}
+	}
+	t.Counter(sys, "busy cores", now, float64(busy))
+	t.Counter(sys, "task queue depth", now, float64(queued))
+	t.Counter(sys, "dram backlog cycles", now, float64(backlog))
+	if travHits+travMisses > 0 {
+		t.Counter(sys, "traveller hit rate %", now,
+			100*float64(travHits)/float64(travHits+travMisses))
+	}
+}

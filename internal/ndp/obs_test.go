@@ -1,0 +1,131 @@
+package ndp_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"abndp/internal/apps"
+	"abndp/internal/config"
+	"abndp/internal/ndp"
+	"abndp/internal/obs"
+)
+
+// fullDigest flattens everything an experiment can observe from a run —
+// scalar results plus every per-unit counter — EXCEPT Stats.Timeline and
+// Stats.Obs, which only exist when sampling/observability is on.
+func fullDigest(r *ndp.Result) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s|%s|mk=%d|tasks=%d|steps=%d|hops=%d|e=%.9e\n",
+		r.App, r.Design, r.Makespan, r.Tasks, r.Steps, r.InterHops, r.Energy.Total())
+	for i := range r.Stats.Units {
+		fmt.Fprintf(&b, "u%d: %+v\n", i, r.Stats.Units[i])
+	}
+	return b.String()
+}
+
+// TestObservabilityDoesNotPerturbResults is the determinism regression for
+// the whole obs subsystem: a run with tracing, phase metrics, AND periodic
+// counter sampling enabled must produce byte-identical simulated results to
+// a run with observability off. The sampler schedules real engine events,
+// so this also pins down that those events never reorder or mutate
+// simulation state.
+func TestObservabilityDoesNotPerturbResults(t *testing.T) {
+	for _, d := range []config.Design{config.DesignB, config.DesignSl, config.DesignO} {
+		t.Run(d.String(), func(t *testing.T) {
+			want := fullDigest(quickRun(t, d))
+
+			cfg := config.Default()
+			cfg.UnitBytes = 16 << 20
+			a, err := apps.New("pr", apps.Params{Scale: 8, Degree: 6, Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			tr := obs.NewTracer(&buf, cfg.CoreGHz)
+			sys := ndp.NewSystem(cfg, d)
+			sys.SetObserver(&obs.Observer{
+				Trace:          tr,
+				Metrics:        &obs.Metrics{},
+				SampleInterval: 64,
+			})
+			r := sys.Run(a)
+			if err := tr.Close(); err != nil {
+				t.Fatalf("tracer close: %v", err)
+			}
+
+			if got := fullDigest(r); got != want {
+				t.Errorf("observed run diverged from plain run:\n got %s\nwant %s", got, want)
+			}
+			m := r.Stats.Obs
+			if m == nil {
+				t.Fatal("Stats.Obs not populated")
+			}
+			if m.TotalTasks() != r.Tasks {
+				t.Errorf("obs counted %d tasks, stats counted %d", m.TotalTasks(), r.Tasks)
+			}
+			// Phases: one setup phase (ts=-1) plus one per timestamp.
+			if want := int(r.Steps) + 1; len(m.Phases) != want {
+				t.Errorf("got %d phases, want %d", len(m.Phases), want)
+			}
+			checkTrace(t, buf.Bytes())
+		})
+	}
+}
+
+// checkTrace parses a finished trace and requires the structure the
+// acceptance criteria name: valid JSON, process/thread metadata, task
+// spans, and at least three distinct counter tracks.
+func checkTrace(t *testing.T, raw []byte) {
+	t.Helper()
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	metas, spans := 0, 0
+	counters := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			metas++
+		case "X":
+			spans++
+		case "C":
+			counters[ev.Name] = true
+		}
+	}
+	if metas < 5 {
+		t.Errorf("got %d metadata events, want >= 5", metas)
+	}
+	if spans == 0 {
+		t.Error("no task spans in trace")
+	}
+	if len(counters) < 3 {
+		t.Errorf("got %d counter tracks (%v), want >= 3", len(counters), counters)
+	}
+}
+
+// TestSetObserverNilAndEmpty pins the normalization: a nil observer and an
+// observer with no sinks both leave the system un-instrumented.
+func TestSetObserverNilAndEmpty(t *testing.T) {
+	cfg := config.Default()
+	cfg.UnitBytes = 16 << 20
+	a, err := apps.New("pr", apps.Params{Scale: 7, Degree: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := ndp.NewSystem(cfg, config.DesignO)
+	sys.SetObserver(nil)
+	sys.SetObserver(&obs.Observer{}) // no sinks: Enabled() == false
+	r := sys.Run(a)
+	if r.Stats.Obs != nil {
+		t.Error("Stats.Obs set despite empty observer")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"abndp/internal/dram"
 	"abndp/internal/mem"
 	"abndp/internal/noc"
+	"abndp/internal/obs"
 	"abndp/internal/sched"
 	"abndp/internal/sim"
 	"abndp/internal/stats"
@@ -73,6 +74,13 @@ type System struct {
 	lastProbed        topology.UnitID // scratch for the probe-all-camps chain
 	tracer            func(TaskTrace) // optional per-task completion callback
 	sampleUtil        bool            // record Stats.Timeline
+
+	// Observability (internal/obs). observer is nil by default; obsM and
+	// obsT cache its Metrics/Trace sinks so every hot-path probe site is a
+	// single nil check against a direct field — zero cost when disabled.
+	observer *obs.Observer
+	obsM     *obs.Metrics
+	obsT     *obs.Tracer
 
 	// Hot-path recycling (all single-goroutine, like the System itself):
 	// completion events and child-task slices turn around as soon as they

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"sync"
+)
+
+// StartDebugServer serves the Go debug endpoints — /debug/pprof (CPU,
+// heap, goroutine, block profiles) and /debug/vars (expvar counters,
+// including the harness progress counters published via Published) — on
+// addr in a background goroutine. It returns the bound address, so ":0"
+// picks a free port. The server lives for the remainder of the process;
+// simulation commands are short-lived, so there is no shutdown surface.
+func StartDebugServer(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		// Both pprof and expvar register on http.DefaultServeMux.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// expvarMu serializes Published against itself: expvar.NewInt panics on
+// duplicate names, and two goroutines may race the Get-then-New window.
+var expvarMu sync.Mutex
+
+// Published returns the process-wide expvar counter with the given name,
+// registering it on first use. Use it for live progress counters that the
+// /debug/vars endpoint should expose (e.g. the bench harness's completed
+// simulation runs).
+func Published(name string) *expvar.Int {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if v := expvar.Get(name); v != nil {
+		if i, ok := v.(*expvar.Int); ok {
+			return i
+		}
+	}
+	return expvar.NewInt(name)
+}

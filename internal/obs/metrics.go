@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// histBuckets is the bucket count of Hist: bucket 0 holds zeros, bucket i
+// holds values in [2^(i-1), 2^i), and the last bucket is open-ended.
+const histBuckets = 22
+
+// Hist is a power-of-two-bucketed histogram of non-negative int64 samples.
+// Buckets are log-spaced because the interesting distributions (DRAM
+// queueing delay, queue depth) span orders of magnitude between idle and
+// saturated units.
+type Hist struct {
+	Buckets [histBuckets]int64
+	Count   int64
+	Sum     int64
+	Max     int64
+}
+
+// Observe records one sample. Negative samples clamp to zero.
+func (h *Hist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.Buckets[b]++
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the sample mean, or 0 with no samples.
+func (h *Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Merge folds o into h.
+func (h *Hist) Merge(o *Hist) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+}
+
+// String renders a compact sparkline of the occupied buckets.
+func (h *Hist) String() string {
+	if h.Count == 0 {
+		return "(empty)"
+	}
+	hi := 0
+	var peak int64
+	for i, b := range h.Buckets {
+		if b > 0 {
+			hi = i
+		}
+		if b > peak {
+			peak = b
+		}
+	}
+	shades := []rune(" .:-=+*#%@")
+	var sb strings.Builder
+	for i := 0; i <= hi; i++ {
+		idx := int(h.Buckets[i] * int64(len(shades)-1) / peak)
+		sb.WriteRune(shades[idx])
+	}
+	return fmt.Sprintf("|%s| n=%d mean=%.1f max=%d", sb.String(), h.Count, h.Mean(), h.Max)
+}
+
+// SchedSums accumulates the scheduler's per-decision score breakdown: the
+// memory (remote-access cost) term and the load term of the unit each task
+// was actually placed on (§5.2's costmem and B·costload).
+type SchedSums struct {
+	Decisions int64
+	Forwarded int64 // placements where target != origin
+	MemCost   float64
+	LoadTerm  float64
+}
+
+// Phase is the metric snapshot of one bulk-synchronous timestamp. Phase 0
+// in Metrics.Phases is the setup phase (initial task emission and
+// placement, before the first barrier interval starts).
+type Phase struct {
+	TS       int64 // simulator timestamp; -1 for the setup phase
+	Start    int64 // first cycle of the phase
+	End      int64 // barrier cycle
+	Tasks    int64 // tasks completed during the phase
+	Stolen   int64 // tasks moved by work stealing
+	Messages int64 // interconnect messages charged
+
+	DRAMQueue Hist // queueing delay (cycles) of every DRAM access issued
+
+	// LinkMsgs counts data messages injected per directional inter-stack
+	// mesh link, indexed stack*4 + direction (the ndp port model's layout).
+	LinkMsgs []int64
+
+	TravHits, TravMisses      int64 // Traveller Cache probe outcomes
+	TravInserts, TravBypasses int64 // Traveller Cache insertion outcomes
+	DRAMReads, DRAMWrites     int64
+	QueuedDelayCycles         int64 // total DRAM queueing delay
+	Sched                     SchedSums
+}
+
+// TravHitRate returns the phase's Traveller probe hit rate, or 0.
+func (p *Phase) TravHitRate() float64 {
+	if p.TravHits+p.TravMisses == 0 {
+		return 0
+	}
+	return float64(p.TravHits) / float64(p.TravHits+p.TravMisses)
+}
+
+// Metrics accumulates phase-resolved observability counters for one run.
+// It is single-goroutine, owned by the simulation that fills it, and is
+// linked into the run's stats.System so downstream consumers (CSV export,
+// abndpinspect) reach it alongside the end-of-run aggregates.
+type Metrics struct {
+	Units int
+	Ports int // directional inter-stack links (stacks * 4)
+
+	Phases []Phase
+
+	// Engine-level counters, fed by the sim.Engine probe.
+	Events     int64 // events executed
+	MaxPending int   // high-water mark of the event queue
+}
+
+// NewMetrics returns an empty Metrics; the runtime sizes it via Init.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Init sizes the metrics for a machine and opens the setup phase. Calling
+// Init resets any previously collected data.
+func (m *Metrics) Init(units, ports int) {
+	m.Units = units
+	m.Ports = ports
+	m.Phases = m.Phases[:0]
+	m.Events = 0
+	m.MaxPending = 0
+	m.openPhase(-1, 0)
+}
+
+func (m *Metrics) openPhase(ts, cycle int64) {
+	m.Phases = append(m.Phases, Phase{TS: ts, Start: cycle, LinkMsgs: make([]int64, m.Ports)})
+}
+
+// cur returns the open phase (Init guarantees at least one).
+func (m *Metrics) cur() *Phase { return &m.Phases[len(m.Phases)-1] }
+
+// BeginPhase closes the open phase and starts timestamp ts at cycle.
+func (m *Metrics) BeginPhase(ts, cycle int64) {
+	m.cur().End = cycle
+	m.openPhase(ts, cycle)
+}
+
+// EndRun closes the final phase at the makespan cycle.
+func (m *Metrics) EndRun(cycle int64) { m.cur().End = cycle }
+
+// Event records one executed engine event with the queue length behind it.
+func (m *Metrics) Event(pending int) {
+	m.Events++
+	if pending > m.MaxPending {
+		m.MaxPending = pending
+	}
+}
+
+// TaskDone records one completed task.
+func (m *Metrics) TaskDone(stolen bool) {
+	p := m.cur()
+	p.Tasks++
+	if stolen {
+		p.Stolen++
+	}
+}
+
+// DRAMAccess records one DRAM channel access and its queueing delay.
+func (m *Metrics) DRAMAccess(queued int64, write bool) {
+	p := m.cur()
+	p.DRAMQueue.Observe(queued)
+	p.QueuedDelayCycles += queued
+	if write {
+		p.DRAMWrites++
+	} else {
+		p.DRAMReads++
+	}
+}
+
+// Message records one interconnect message charge.
+func (m *Metrics) Message() { m.cur().Messages++ }
+
+// LinkInject records one data message injected on directional link port.
+func (m *Metrics) LinkInject(port int) {
+	p := m.cur()
+	if port >= 0 && port < len(p.LinkMsgs) {
+		p.LinkMsgs[port]++
+	}
+}
+
+// TravellerProbe records one Traveller Cache tag probe outcome.
+func (m *Metrics) TravellerProbe(hit bool) {
+	p := m.cur()
+	if hit {
+		p.TravHits++
+	} else {
+		p.TravMisses++
+	}
+}
+
+// TravellerInsert records one insertion attempt (inserted=false means the
+// probabilistic bypass filter rejected the line).
+func (m *Metrics) TravellerInsert(inserted bool) {
+	p := m.cur()
+	if inserted {
+		p.TravInserts++
+	} else {
+		p.TravBypasses++
+	}
+}
+
+// SchedDecision records one placement decision's score components.
+func (m *Metrics) SchedDecision(forwarded bool, memCost, loadTerm float64) {
+	s := &m.cur().Sched
+	s.Decisions++
+	if forwarded {
+		s.Forwarded++
+	}
+	s.MemCost += memCost
+	s.LoadTerm += loadTerm
+}
+
+// TotalTasks sums completed tasks over all phases.
+func (m *Metrics) TotalTasks() int64 {
+	var t int64
+	for i := range m.Phases {
+		t += m.Phases[i].Tasks
+	}
+	return t
+}
+
+// csvHeader is the column set of WriteCSV, one row per phase.
+var csvHeader = []string{
+	"phase", "ts", "start_cycle", "end_cycle", "tasks", "stolen", "messages",
+	"dram_reads", "dram_writes", "dram_queue_mean", "dram_queue_max",
+	"link_msgs_total", "link_msgs_max",
+	"trav_hits", "trav_misses", "trav_hit_rate", "trav_inserts", "trav_bypasses",
+	"sched_decisions", "sched_forwarded", "sched_mem_cost_mean", "sched_load_term_mean",
+}
+
+// WriteCSV renders one row per phase with the per-phase metric columns —
+// the "-metrics out.csv" surface of cmd/abndpsim.
+func (m *Metrics) WriteCSV(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(csvHeader, ","))
+	sb.WriteByte('\n')
+	for i := range m.Phases {
+		p := &m.Phases[i]
+		var linkTotal, linkMax int64
+		for _, l := range p.LinkMsgs {
+			linkTotal += l
+			if l > linkMax {
+				linkMax = l
+			}
+		}
+		var memMean, loadMean float64
+		if p.Sched.Decisions > 0 {
+			memMean = p.Sched.MemCost / float64(p.Sched.Decisions)
+			loadMean = p.Sched.LoadTerm / float64(p.Sched.Decisions)
+		}
+		cols := []string{
+			strconv.Itoa(i),
+			strconv.FormatInt(p.TS, 10),
+			strconv.FormatInt(p.Start, 10),
+			strconv.FormatInt(p.End, 10),
+			strconv.FormatInt(p.Tasks, 10),
+			strconv.FormatInt(p.Stolen, 10),
+			strconv.FormatInt(p.Messages, 10),
+			strconv.FormatInt(p.DRAMReads, 10),
+			strconv.FormatInt(p.DRAMWrites, 10),
+			strconv.FormatFloat(p.DRAMQueue.Mean(), 'f', 2, 64),
+			strconv.FormatInt(p.DRAMQueue.Max, 10),
+			strconv.FormatInt(linkTotal, 10),
+			strconv.FormatInt(linkMax, 10),
+			strconv.FormatInt(p.TravHits, 10),
+			strconv.FormatInt(p.TravMisses, 10),
+			strconv.FormatFloat(p.TravHitRate(), 'f', 4, 64),
+			strconv.FormatInt(p.TravInserts, 10),
+			strconv.FormatInt(p.TravBypasses, 10),
+			strconv.FormatInt(p.Sched.Decisions, 10),
+			strconv.FormatInt(p.Sched.Forwarded, 10),
+			strconv.FormatFloat(memMean, 'f', 3, 64),
+			strconv.FormatFloat(loadMean, 'f', 3, 64),
+		}
+		sb.WriteString(strings.Join(cols, ","))
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHistObserve(t *testing.T) {
+	var h Hist
+	for _, v := range []int64{0, 1, 1, 3, 8, 1000, -5} {
+		h.Observe(v)
+	}
+	if h.Count != 7 {
+		t.Fatalf("Count = %d, want 7", h.Count)
+	}
+	if h.Sum != 1013 {
+		t.Fatalf("Sum = %d, want 1013", h.Sum)
+	}
+	if h.Max != 1000 {
+		t.Fatalf("Max = %d, want 1000", h.Max)
+	}
+	// 0 and -5 land in bucket 0; 1,1 in bucket 1; 3 in bucket 2; 8 in
+	// bucket 4; 1000 in bucket 10.
+	wantBuckets := map[int]int64{0: 2, 1: 2, 2: 1, 4: 1, 10: 1}
+	for i, b := range h.Buckets {
+		if b != wantBuckets[i] {
+			t.Errorf("bucket %d = %d, want %d", i, b, wantBuckets[i])
+		}
+	}
+	if got := h.Mean(); got < 144 || got > 145 {
+		t.Errorf("Mean = %v, want ~144.7", got)
+	}
+}
+
+func TestHistOverflowBucket(t *testing.T) {
+	var h Hist
+	h.Observe(1 << 40) // far beyond the last closed bucket
+	if h.Buckets[histBuckets-1] != 1 {
+		t.Fatalf("overflow sample not in last bucket: %v", h.Buckets)
+	}
+}
+
+func TestMetricsPhaseLifecycle(t *testing.T) {
+	m := NewMetrics()
+	m.Init(4, 16)
+
+	// Setup-phase activity (initial placement).
+	m.SchedDecision(true, 3.5, 1.5)
+	m.BeginPhase(0, 100)
+	m.TaskDone(false)
+	m.TaskDone(true)
+	m.DRAMAccess(12, false)
+	m.DRAMAccess(0, true)
+	m.Message()
+	m.LinkInject(3)
+	m.LinkInject(3)
+	m.LinkInject(99) // out of range: ignored
+	m.TravellerProbe(true)
+	m.TravellerProbe(false)
+	m.TravellerInsert(false)
+	m.BeginPhase(1, 250)
+	m.EndRun(400)
+
+	if len(m.Phases) != 3 {
+		t.Fatalf("phases = %d, want 3 (setup + ts0 + ts1)", len(m.Phases))
+	}
+	setup, p0, p1 := &m.Phases[0], &m.Phases[1], &m.Phases[2]
+	if setup.TS != -1 || setup.End != 100 {
+		t.Errorf("setup phase = %+v", setup)
+	}
+	if p0.Tasks != 2 || p0.Stolen != 1 {
+		t.Errorf("p0 tasks=%d stolen=%d, want 2, 1", p0.Tasks, p0.Stolen)
+	}
+	if p0.DRAMReads != 1 || p0.DRAMWrites != 1 || p0.QueuedDelayCycles != 12 {
+		t.Errorf("p0 dram: %+v", p0)
+	}
+	if p0.LinkMsgs[3] != 2 {
+		t.Errorf("link 3 = %d, want 2", p0.LinkMsgs[3])
+	}
+	if hr := p0.TravHitRate(); hr != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", hr)
+	}
+	if setup.Sched.Decisions != 1 || setup.Sched.Forwarded != 1 ||
+		setup.Sched.MemCost != 3.5 || setup.Sched.LoadTerm != 1.5 {
+		t.Errorf("setup sched = %+v", setup.Sched)
+	}
+	if p1.Start != 250 || p1.End != 400 {
+		t.Errorf("p1 bounds = [%d, %d], want [250, 400]", p1.Start, p1.End)
+	}
+	if m.TotalTasks() != 2 {
+		t.Errorf("TotalTasks = %d, want 2", m.TotalTasks())
+	}
+}
+
+func TestMetricsEngineProbe(t *testing.T) {
+	m := NewMetrics()
+	m.Init(1, 4)
+	m.Event(3)
+	m.Event(10)
+	m.Event(2)
+	if m.Events != 3 || m.MaxPending != 10 {
+		t.Errorf("Events=%d MaxPending=%d, want 3, 10", m.Events, m.MaxPending)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	m := NewMetrics()
+	m.Init(4, 16)
+	m.SchedDecision(false, 2, 4)
+	m.SchedDecision(true, 4, 0)
+	m.DRAMAccess(10, false)
+	m.BeginPhase(0, 50)
+	m.EndRun(80)
+
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 { // header + setup phase + ts0
+		t.Fatalf("got %d CSV lines, want 3:\n%s", len(lines), buf.String())
+	}
+	header := strings.Split(lines[0], ",")
+	row := strings.Split(lines[1], ",")
+	if len(header) != len(row) {
+		t.Fatalf("header has %d cols, row has %d", len(header), len(row))
+	}
+	cols := map[string]string{}
+	for i, h := range header {
+		cols[h] = row[i]
+	}
+	if cols["sched_decisions"] != "2" || cols["sched_forwarded"] != "1" {
+		t.Errorf("sched cols: %v", cols)
+	}
+	if cols["sched_mem_cost_mean"] != "3.000" || cols["sched_load_term_mean"] != "2.000" {
+		t.Errorf("score means: mem=%s load=%s", cols["sched_mem_cost_mean"], cols["sched_load_term_mean"])
+	}
+	if cols["dram_queue_mean"] != "10.00" || cols["dram_queue_max"] != "10" {
+		t.Errorf("dram queue cols: %v", cols)
+	}
+}
+
+func TestObserverEnabled(t *testing.T) {
+	var o *Observer
+	if o.Enabled() {
+		t.Error("nil Observer reports enabled")
+	}
+	if (&Observer{}).Enabled() {
+		t.Error("empty Observer reports enabled")
+	}
+	if !(&Observer{Metrics: NewMetrics()}).Enabled() {
+		t.Error("Observer with Metrics reports disabled")
+	}
+}

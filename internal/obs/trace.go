@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Tracer writes Chrome trace-event JSON (the format ui.perfetto.dev and
+// chrome://tracing load natively): one process per NDP unit plus one
+// "system" process, one thread per core plus dedicated scheduler/DRAM
+// threads, "X" complete events for task execution spans, "i" instant
+// events for barriers and steals, and "C" counter events for the sampled
+// tracks (queue depth, busy cores, DRAM backlog, Traveller hit rate).
+//
+// Events are streamed through an internal bufio.Writer as they happen — a
+// multi-million-task run never buffers more than a few KB in memory. The
+// JSON is emitted field by field (no encoding/json, no maps), so output is
+// byte-deterministic for a deterministic simulation, which the golden-file
+// exporter test relies on.
+//
+// Timestamps: the trace-event "ts"/"dur" fields are microseconds. The
+// tracer converts core cycles at the clock rate given to NewTracer, keeping
+// picosecond integer precision before the final division so equal cycles
+// always render as equal timestamps.
+type Tracer struct {
+	w          *bufio.Writer
+	psPerCycle int64
+	n          int // events emitted so far
+	err        error
+	kindNames  map[int]string // lazily built "task kN" span names
+	buf        []byte         // scratch for number formatting
+}
+
+// NewTracer starts a trace written to w for a simulation clocked at
+// coreGHz. The header is written immediately; call Close to terminate the
+// JSON document and flush.
+func NewTracer(w io.Writer, coreGHz float64) *Tracer {
+	if coreGHz <= 0 {
+		coreGHz = 1
+	}
+	t := &Tracer{
+		w:          bufio.NewWriterSize(w, 1<<16),
+		psPerCycle: int64(math.Round(1000 / coreGHz)),
+		kindNames:  make(map[int]string),
+		buf:        make([]byte, 0, 64),
+	}
+	t.raw(`{"displayTimeUnit":"ns","traceEvents":[`)
+	return t
+}
+
+// Err returns the first write error encountered, if any. Writes after an
+// error are dropped.
+func (t *Tracer) Err() error { return t.err }
+
+// Close terminates the JSON document and flushes buffered events. The
+// underlying writer is not closed; the caller owns it.
+func (t *Tracer) Close() error {
+	t.raw("\n]}\n")
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Events returns the number of events emitted so far.
+func (t *Tracer) Events() int { return t.n }
+
+func (t *Tracer) raw(s string) {
+	if t.err != nil {
+		return
+	}
+	if _, err := t.w.WriteString(s); err != nil {
+		t.err = err
+	}
+}
+
+// begin opens one event object, handling the comma separator.
+func (t *Tracer) begin() {
+	if t.n > 0 {
+		t.raw(",\n")
+	} else {
+		t.raw("\n")
+	}
+	t.n++
+	t.raw("{")
+}
+
+// field writes a separator + quoted key.
+func (t *Tracer) field(key string) {
+	t.raw(`,"`)
+	t.raw(key)
+	t.raw(`":`)
+}
+
+func (t *Tracer) str(s string) {
+	if t.err != nil {
+		return
+	}
+	t.buf = appendQuoted(t.buf[:0], s)
+	if _, err := t.w.Write(t.buf); err != nil {
+		t.err = err
+	}
+}
+
+func (t *Tracer) int(v int64) {
+	if t.err != nil {
+		return
+	}
+	t.buf = strconv.AppendInt(t.buf[:0], v, 10)
+	if _, err := t.w.Write(t.buf); err != nil {
+		t.err = err
+	}
+}
+
+func (t *Tracer) float(v float64) {
+	if t.err != nil {
+		return
+	}
+	t.buf = strconv.AppendFloat(t.buf[:0], v, 'g', -1, 64)
+	if _, err := t.w.Write(t.buf); err != nil {
+		t.err = err
+	}
+}
+
+// us converts cycles to trace microseconds.
+func (t *Tracer) us(cycles int64) float64 {
+	return float64(cycles*t.psPerCycle) / 1e6
+}
+
+// head writes the shared prefix of one event: phase, pid, tid.
+func (t *Tracer) head(ph string, pid, tid int) {
+	t.begin()
+	t.raw(`"ph":"`)
+	t.raw(ph)
+	t.raw(`","pid":`)
+	t.int(int64(pid))
+	t.raw(`,"tid":`)
+	t.int(int64(tid))
+}
+
+// ProcessName emits process metadata naming the track group pid.
+func (t *Tracer) ProcessName(pid int, name string) {
+	t.head("M", pid, 0)
+	t.field("name")
+	t.str("process_name")
+	t.raw(`,"args":{"name":`)
+	t.str(name)
+	t.raw("}}")
+}
+
+// ProcessSortIndex fixes the display order of process pid.
+func (t *Tracer) ProcessSortIndex(pid, index int) {
+	t.head("M", pid, 0)
+	t.field("name")
+	t.str("process_sort_index")
+	t.raw(`,"args":{"sort_index":`)
+	t.int(int64(index))
+	t.raw("}}")
+}
+
+// ThreadName emits thread metadata naming track tid of process pid.
+func (t *Tracer) ThreadName(pid, tid int, name string) {
+	t.head("M", pid, tid)
+	t.field("name")
+	t.str("thread_name")
+	t.raw(`,"args":{"name":`)
+	t.str(name)
+	t.raw("}}")
+}
+
+// Span emits a complete ("X") event covering [start, start+dur) cycles.
+// args lists alternating key, int64-value pairs rendered into the event's
+// args object (pass nothing for an empty args).
+func (t *Tracer) Span(pid, tid int, name string, start, dur int64, args ...any) {
+	t.head("X", pid, tid)
+	t.field("ts")
+	t.float(t.us(start))
+	t.field("dur")
+	t.float(t.us(dur))
+	t.field("name")
+	t.str(name)
+	t.args(args)
+	t.raw("}")
+}
+
+// Instant emits a thread-scoped instant ("i") event at cycle.
+func (t *Tracer) Instant(pid, tid int, name string, cycle int64, args ...any) {
+	t.head("i", pid, tid)
+	t.raw(`,"s":"t"`)
+	t.field("ts")
+	t.float(t.us(cycle))
+	t.field("name")
+	t.str(name)
+	t.args(args)
+	t.raw("}")
+}
+
+// Counter emits one sample of the named counter track at cycle. Counter
+// tracks live on their process's timeline in Perfetto.
+func (t *Tracer) Counter(pid int, name string, cycle int64, value float64) {
+	t.head("C", pid, 0)
+	t.field("ts")
+	t.float(t.us(cycle))
+	t.field("name")
+	t.str(name)
+	t.raw(`,"args":{"value":`)
+	t.float(value)
+	t.raw("}}")
+}
+
+// args renders alternating key, value pairs. Values may be int/int64 or
+// float64; anything else falls back to fmt. Odd trailing keys are dropped.
+func (t *Tracer) args(kv []any) {
+	if len(kv) < 2 {
+		return
+	}
+	t.raw(`,"args":{`)
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			t.raw(",")
+		}
+		t.str(kv[i].(string))
+		t.raw(":")
+		switch v := kv[i+1].(type) {
+		case int:
+			t.int(int64(v))
+		case int64:
+			t.int(v)
+		case float64:
+			t.float(v)
+		case bool:
+			if v {
+				t.raw("true")
+			} else {
+				t.raw("false")
+			}
+		default:
+			t.str(fmt.Sprint(v))
+		}
+	}
+	t.raw("}")
+}
+
+// KindName returns the cached span name for an application task kind.
+func (t *Tracer) KindName(kind int) string {
+	if n, ok := t.kindNames[kind]; ok {
+		return n
+	}
+	n := "task k" + strconv.Itoa(kind)
+	t.kindNames[kind] = n
+	return n
+}
+
+// appendQuoted appends s as a JSON string literal. Trace names are plain
+// ASCII identifiers; the escaper still handles quotes, backslashes, and
+// control bytes so arbitrary app-provided names cannot corrupt the JSON.
+func appendQuoted(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			dst = append(dst, '\\', c)
+		case c < 0x20:
+			dst = append(dst, '\\', 'u', '0', '0', hexDigit(c>>4), hexDigit(c&0xf))
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, '"')
+}
+
+func hexDigit(v byte) byte {
+	if v < 10 {
+		return '0' + v
+	}
+	return 'a' + v - 10
+}

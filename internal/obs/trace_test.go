@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// sampleTrace emits a small fixed trace exercising every event kind.
+func sampleTrace(w *bytes.Buffer) *Tracer {
+	t := NewTracer(w, 2.0)
+	t.ProcessName(0, "unit 0 (stack 0)")
+	t.ProcessSortIndex(0, 0)
+	t.ThreadName(0, 0, "core 0")
+	t.ThreadName(0, 1, "core 1")
+	t.ProcessName(8, "system")
+	t.Span(0, 0, t.KindName(0), 100, 40, "ts", int64(0), "stall", int64(4))
+	t.Span(0, 1, t.KindName(2), 120, 16)
+	t.Instant(8, 0, "barrier ts0", 160, "tasks", int64(2))
+	t.Counter(8, "busy cores", 100, 2)
+	t.Counter(8, "task queue depth", 100, 7)
+	t.Counter(8, "traveller hit rate %", 100, 62.5)
+	t.Counter(8, "dram backlog cycles", 100, 31)
+	return t
+}
+
+// TestTracerGolden locks the exporter's byte-exact output. Regenerate with
+// `go test ./internal/obs -run TestTracerGolden -update` after intentional
+// format changes.
+func TestTracerGolden(t *testing.T) {
+	var buf bytes.Buffer
+	tr := sampleTrace(&buf)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "perfetto_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace output diverged from golden file\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+// traceDoc mirrors the Chrome trace-event container for validation.
+type traceDoc struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Name string         `json:"name"`
+	Args map[string]any `json:"args"`
+}
+
+// TestTracerValidJSON parses the emitted document with encoding/json and
+// checks the structural invariants Perfetto relies on.
+func TestTracerValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	tr := sampleTrace(&buf)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted trace is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if got, want := len(doc.TraceEvents), tr.Events(); got != want {
+		t.Fatalf("parsed %d events, tracer reports %d", got, want)
+	}
+	counters := map[string]bool{}
+	var spans, metas int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "C":
+			counters[ev.Name] = true
+		case "X":
+			spans++
+		case "M":
+			metas++
+		}
+	}
+	if len(counters) < 3 {
+		t.Errorf("want >= 3 counter tracks, got %d (%v)", len(counters), counters)
+	}
+	if spans != 2 || metas != 5 {
+		t.Errorf("got %d spans, %d metadata events; want 2, 5", spans, metas)
+	}
+	// 100 cycles at 2 GHz = 50 ns = 0.05 us.
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "C" && ev.Ts != 0.05 {
+			t.Errorf("counter %q ts = %v us, want 0.05", ev.Name, ev.Ts)
+		}
+	}
+}
+
+func TestAppendQuoted(t *testing.T) {
+	cases := map[string]string{
+		"plain":       `"plain"`,
+		`quo"te`:      `"quo\"te"`,
+		`back\slash`:  `"back\\slash"`,
+		"ctrl\x01end": `"ctrl\u0001end"`,
+	}
+	for in, want := range cases {
+		if got := string(appendQuoted(nil, in)); got != want {
+			t.Errorf("appendQuoted(%q) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+// TestTracerWriteError checks that a failing writer surfaces through Err
+// and Close instead of panicking mid-simulation.
+func TestTracerWriteError(t *testing.T) {
+	tr := NewTracer(failWriter{}, 2.0)
+	for i := 0; i < 10000; i++ { // overflow the bufio buffer
+		tr.Span(0, 0, "x", int64(i), 1)
+	}
+	if err := tr.Close(); err == nil {
+		t.Fatal("Close() = nil error, want write failure")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, os.ErrClosed }

@@ -65,6 +65,12 @@ type Scheduler struct {
 	flatBuf []topology.UnitID
 	candBuf [][]topology.UnitID
 	loadBuf []float64
+
+	// scoreHook, when non-nil, receives the score breakdown of every
+	// placement decision: the memory (remote-access cost) term and the
+	// load term of the unit the task was actually sent to. Nil by default;
+	// the disabled path is one branch per Place call.
+	scoreHook func(origin, target topology.UnitID, memCost, loadTerm float64)
 }
 
 // New builds a scheduler. campAware must match the cost model: design O
@@ -105,26 +111,37 @@ func (s *Scheduler) Exchange(trueW []float64) {
 // instantaneously.
 func (s *Scheduler) SnapshotLoads() []float64 { return s.snapW }
 
+// SetScoreHook installs (or, with nil, removes) the per-decision score
+// breakdown callback. Observability only: the hook must not influence
+// placement, and installing it never changes which unit Place returns.
+func (s *Scheduler) SetScoreHook(f func(origin, target topology.UnitID, memCost, loadTerm float64)) {
+	s.scoreHook = f
+}
+
 // Place chooses the execution unit for t, scheduled by origin's scheduler,
 // and records the forwarded load in origin's delta. Ties break toward the
 // lowest unit ID so results are deterministic.
 func (s *Scheduler) Place(t *task.Task, origin topology.UnitID) topology.UnitID {
 	var target topology.UnitID
+	var memCost, loadTerm float64
 	switch s.kind {
 	case KindHome:
 		target = s.camps.Home(t.Hint.Lines[0])
 	case KindLowestDistance:
-		target = s.placeLowestDistance(t)
+		target, memCost = s.placeLowestDistance(t)
 	case KindHybrid:
-		target = s.placeHybrid(t, origin)
+		target, memCost, loadTerm = s.placeHybrid(t, origin)
 	default:
 		panic("sched: unknown policy kind")
 	}
 	s.delta[int(origin)*s.units+int(target)] += t.Hint.EstimatedWorkload()
+	if s.scoreHook != nil {
+		s.scoreHook(origin, target, memCost, loadTerm)
+	}
 	return target
 }
 
-func (s *Scheduler) placeLowestDistance(t *task.Task) topology.UnitID {
+func (s *Scheduler) placeLowestDistance(t *task.Task) (topology.UnitID, float64) {
 	s.flatBuf, s.candBuf = s.cost.Candidates(t.Hint.Lines, s.flatBuf, s.candBuf)
 	// Ties break toward the main element's home: with symmetric data many
 	// units score equally, and a fixed lowest-ID tie-break would pile
@@ -136,10 +153,10 @@ func (s *Scheduler) placeLowestDistance(t *task.Task) topology.UnitID {
 			best, bestCost = topology.UnitID(u), c
 		}
 	}
-	return best
+	return best, bestCost
 }
 
-func (s *Scheduler) placeHybrid(t *task.Task, origin topology.UnitID) topology.UnitID {
+func (s *Scheduler) placeHybrid(t *task.Task, origin topology.UnitID) (topology.UnitID, float64, float64) {
 	s.flatBuf, s.candBuf = s.cost.Candidates(t.Hint.Lines, s.flatBuf, s.candBuf)
 
 	// Effective load view of this origin: the snapshot plus what it has
@@ -167,16 +184,21 @@ func (s *Scheduler) placeHybrid(t *task.Task, origin topology.UnitID) topology.U
 	}
 
 	// Ties break toward the main element's home, as in lowest-distance.
+	// The two score components are tracked separately so the observability
+	// hook can attribute each decision to its remote-cost vs. load term;
+	// their sum is the same arithmetic as before.
 	best := s.camps.Home(t.Hint.Lines[0])
-	bestScore := s.cost.MemCost(s.candBuf, best) + s.hybridB*(s.loadBuf[best]/mean-1)
+	bestMem := s.cost.MemCost(s.candBuf, best)
+	bestLoad := s.hybridB * (s.loadBuf[best]/mean - 1)
+	bestScore := bestMem + bestLoad
 	for u := 0; u < s.units; u++ {
-		score := s.cost.MemCost(s.candBuf, topology.UnitID(u)) +
-			s.hybridB*(s.loadBuf[u]/mean-1)
-		if score < bestScore {
-			best, bestScore = topology.UnitID(u), score
+		mem := s.cost.MemCost(s.candBuf, topology.UnitID(u))
+		load := s.hybridB * (s.loadBuf[u]/mean - 1)
+		if score := mem + load; score < bestScore {
+			best, bestScore, bestMem, bestLoad = topology.UnitID(u), score, mem, load
 		}
 	}
-	return best
+	return best, bestMem, bestLoad
 }
 
 // PickVictim selects the work-stealing victim for an idle thief: the unit

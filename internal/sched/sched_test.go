@@ -247,6 +247,76 @@ func TestPickVictim(t *testing.T) {
 	}
 }
 
+// TestScoreHookObservesWithoutPerturbing checks the observability hook: it
+// must see every decision with the chosen unit's score components, and
+// installing it must not change any placement.
+func TestScoreHookObservesWithoutPerturbing(t *testing.T) {
+	e := newEnv()
+	w := make([]float64, e.topo.Units())
+	for i := range w {
+		w[i] = float64((i * 13) % 997)
+	}
+	plain, hooked := e.scheduler(KindHybrid, true), e.scheduler(KindHybrid, true)
+	plain.Exchange(w)
+	hooked.Exchange(w)
+	cost := core.NewCostModel(e.noc, e.camps, true)
+
+	type decision struct {
+		origin, target topology.UnitID
+		mem, load      float64
+	}
+	var seen []decision
+	hooked.SetScoreHook(func(origin, target topology.UnitID, mem, load float64) {
+		seen = append(seen, decision{origin, target, mem, load})
+	})
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		lines := []mem.Line{e.lineOn(topology.UnitID(i % 128)), e.lineOn(topology.UnitID((i * 31) % 128))}
+		origin := topology.UnitID(i % 128)
+		a := plain.Place(&task.Task{Hint: task.Hint{Lines: lines}}, origin)
+		b := hooked.Place(&task.Task{Hint: task.Hint{Lines: lines}}, origin)
+		if a != b {
+			t.Fatalf("case %d: hook changed placement %d -> %d", i, a, b)
+		}
+		d := seen[len(seen)-1]
+		if d.origin != origin || d.target != b {
+			t.Fatalf("case %d: hook saw (%d -> %d), want (%d -> %d)", i, d.origin, d.target, origin, b)
+		}
+		if d.mem != cost.MemCostLines(lines, b) {
+			t.Fatalf("case %d: hook mem cost %v != recomputed %v", i, d.mem, cost.MemCostLines(lines, b))
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("hook saw %d decisions, want %d", len(seen), n)
+	}
+	var anyLoad bool
+	for _, d := range seen {
+		if d.load != 0 {
+			anyLoad = true
+		}
+	}
+	if !anyLoad {
+		t.Error("hybrid load term was zero for every decision under skewed load")
+	}
+
+	// Home and lowest-distance policies report through the same hook.
+	for _, kind := range []Kind{KindHome, KindLowestDistance} {
+		s := e.scheduler(kind, false)
+		calls := 0
+		s.SetScoreHook(func(_, _ topology.UnitID, _, load float64) {
+			calls++
+			if load != 0 {
+				t.Errorf("kind %v reported nonzero load term %v", kind, load)
+			}
+		})
+		s.Place(&task.Task{Hint: task.Hint{Lines: []mem.Line{e.lineOn(7)}}}, 3)
+		if calls != 1 {
+			t.Fatalf("kind %v: hook called %d times, want 1", kind, calls)
+		}
+	}
+}
+
 func TestPlaceIsDeterministic(t *testing.T) {
 	e := newEnv()
 	mk := func() *Scheduler { return e.scheduler(KindHybrid, true) }

@@ -84,6 +84,34 @@ func BenchmarkEngineMixedAtAfter(b *testing.B) {
 	e.Run()
 }
 
+// TestEngineSteadyStateAllocs asserts the PR-1 hot-path guarantee survives
+// the observability probe hook: once the queue slice has grown to its
+// working capacity, scheduling and dispatching events allocates nothing —
+// with the probe disabled (the default) and with it enabled.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	nop := func() {}
+	for _, probed := range []bool{false, true} {
+		var e Engine
+		if probed {
+			e.Probe = func(at int64, pending int) {}
+		}
+		// Warm the queue to its steady-state capacity.
+		for i := 0; i < 4096; i++ {
+			e.At(int64(i), nop)
+		}
+		e.Run()
+		allocs := testing.AllocsPerRun(1000, func() {
+			e.After(3, nop)
+			e.After(7, nop)
+			e.Step()
+			e.Step()
+		})
+		if allocs != 0 {
+			t.Errorf("probed=%v: %v allocs per steady-state push/pop pair, want 0", probed, allocs)
+		}
+	}
+}
+
 // --- container/heap baseline ---
 //
 // heapEngine is the pre-rewrite implementation (container/heap over a

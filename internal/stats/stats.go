@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"abndp/internal/energy"
+	"abndp/internal/obs"
 )
 
 // Unit aggregates the counters of a single NDP unit.
@@ -44,6 +45,13 @@ type System struct {
 	// sample interval), populated when utilization sampling is enabled.
 	Timeline         []int
 	TimelineInterval int64
+
+	// Obs holds the phase-resolved observability metrics of the run (one
+	// snapshot per bulk-synchronous timestamp: DRAM queue occupancy,
+	// per-link NoC traffic, Traveller hit/bypass rates, scheduler score
+	// breakdowns). Nil unless an Observer with Metrics was installed; the
+	// simulated counters above are byte-identical either way.
+	Obs *obs.Metrics
 }
 
 // NewSystem creates counters for units NDP units with coresPerUnit cores.
