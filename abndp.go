@@ -29,6 +29,7 @@ import (
 	"abndp/internal/apps"
 	"abndp/internal/config"
 	"abndp/internal/energy"
+	"abndp/internal/fault"
 	"abndp/internal/host"
 	"abndp/internal/mem"
 	"abndp/internal/ndp"
@@ -98,6 +99,22 @@ type SystemStats = stats.System
 
 // HostResult is the design-H execution estimate.
 type HostResult = host.Result
+
+// FaultPlan declares deterministic fault injection for a run; assign it to
+// Config.Faults. The zero value injects nothing and is guaranteed
+// zero-cost. See ParseFaults for the compact spec grammar.
+type FaultPlan = fault.Plan
+
+// FaultCounters are the recovery-event totals of a faulty run
+// (Result.Stats.Faults).
+type FaultCounters = stats.FaultCounters
+
+// ParseFaults parses the semicolon-separated fault spec grammar of
+// `abndpsim -faults` (see docs/FAULTS.md):
+//
+//	dram:PROB[:RETRIES] ; slow:UNITS:CORE[:CHAN][@FROM[-UNTIL]] ;
+//	kill:UNITS@CYCLE ; link:STACK:DIR@CYCLE ; retry:N ; seed:N
+func ParseFaults(spec string) (FaultPlan, error) { return fault.Parse(spec) }
 
 // The following aliases let users implement custom workloads against the
 // App interface without access to the internal packages.

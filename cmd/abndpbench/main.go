@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exps   = flag.String("exp", "all", "comma-separated experiments (tab1 tab2 fig2 fig6..fig18, ablrepl ablprobe ablhint abltopo) or 'all'")
+		exps   = flag.String("exp", "all", "comma-separated experiments (tab1 tab2 fig2 fig6..fig18, ablrepl ablprobe ablhint abltopo, resilience) or 'all'")
 		quick  = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 		svg    = flag.String("svg", "", "also render the figures as SVG files into this directory")
 		jobs   = flag.Int("j", 0, "worker goroutines for simulation runs (0 = GOMAXPROCS)")
@@ -40,6 +40,7 @@ func main() {
 		srv    = flag.String("pprof", "", "serve pprof+expvar debug HTTP on this address (e.g. :6060)")
 		cpup   = flag.String("cpuprofile", "", "write a CPU profile of the harness to this file")
 		memp   = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
+		rdl    = flag.Duration("rundeadline", 0, "per-run wall-clock deadline; a run past it is recorded as hung and skipped (0 = the 10m default, negative disables)")
 	)
 	flag.Parse()
 
@@ -74,6 +75,9 @@ func main() {
 		r.SetWorkers(1)
 	} else {
 		r.SetWorkers(*jobs)
+	}
+	if *rdl != 0 {
+		r.SetRunDeadline(*rdl)
 	}
 
 	start := time.Now()
@@ -115,4 +119,19 @@ func main() {
 		f.Close()
 	}
 	fmt.Printf("\ncompleted in %.1fs\n", time.Since(start).Seconds())
+
+	// Crash-isolated runs that panicked or hung: the sweep above still
+	// rendered (their rows hold placeholders), but the harness exits
+	// non-zero so CI and scripts notice.
+	if fails := r.Failures(); len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "\nabndpbench: %d run(s) FAILED (rows hold placeholder values):\n", len(fails))
+		for _, f := range fails {
+			kind := "panic"
+			if f.Hung {
+				kind = "hung"
+			}
+			fmt.Fprintf(os.Stderr, "  [%s] %s: %s\n", kind, f.Key, f.Err)
+		}
+		os.Exit(1)
+	}
 }

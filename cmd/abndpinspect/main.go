@@ -11,6 +11,7 @@
 //	abndpinspect timeline -app pr           # core utilization over time
 //	abndpinspect trace -in tasks.jsonl      # per-unit summary of a -trace recording
 //	abndpinspect queues -in trace.json      # counter tracks of a -perfetto recording
+//	abndpinspect faults -spec "kill:70@25000;slow:9:4"  # validate + print a fault plan
 package main
 
 import (
@@ -39,6 +40,7 @@ func main() {
 		scale  = fs.Int("scale", 0, "workload scale (heat command)")
 		metric = fs.String("metric", "cycles", "heat metric: cycles, tasks, dram, hops")
 		in     = fs.String("in", "", "recorded trace file (trace: JSONL from -trace; queues: JSON from -perfetto)")
+		spec   = fs.String("spec", "", "fault spec to validate and print (faults command)")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		fatal(err)
@@ -70,14 +72,73 @@ func main() {
 			fatal(fmt.Errorf("queues: -in <trace.json> required (record with abndpsim -perfetto)"))
 		}
 		queuesSummary(*in)
+	case "faults":
+		if *spec == "" {
+			fatal(fmt.Errorf("faults: -spec <fault spec> required (see docs/FAULTS.md)"))
+		}
+		showFaults(cfg, *spec)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: abndpinspect {layout|camps|hops|heat|timeline|trace|queues} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: abndpinspect {layout|camps|hops|heat|timeline|trace|queues|faults} [flags]")
 	os.Exit(2)
+}
+
+// showFaults parses and validates a fault spec against the configured
+// machine and prints the fully resolved plan: every clause expanded, the
+// effective retry budgets, and the canonical cache key the plan hashes to.
+func showFaults(cfg abndp.Config, spec string) {
+	plan, err := abndp.ParseFaults(spec)
+	if err != nil {
+		fatal(err)
+	}
+	check := cfg
+	check.Faults = plan
+	if err := check.Validate(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("plan: %s\n", plan.String())
+	fmt.Printf("  machine        %dx%d stacks, %d units\n", cfg.MeshX, cfg.MeshY, cfg.Units())
+	fmt.Printf("  dram errors    p=%g per access, <=%d ECC retries\n",
+		plan.DRAMErrProb, plan.EffectiveDRAMRetryMax())
+	fmt.Printf("  task retries   <=%d re-executions before unrecoverable\n", plan.EffectiveTaskRetryMax())
+	fmt.Printf("  seed           %d\n", plan.Seed)
+	for _, s := range plan.Stragglers {
+		window := "always"
+		if s.From > 0 || s.Until > 0 {
+			window = fmt.Sprintf("cycles [%d, %d)", s.From, s.Until)
+			if s.Until == 0 {
+				window = fmt.Sprintf("cycles [%d, inf)", s.From)
+			}
+		}
+		fmt.Printf("  straggler      unit %d: core %gx, channel %gx, %s\n",
+			s.Unit, s.CoreFactor, s.ChanFactor, window)
+	}
+	for _, k := range plan.UnitKills {
+		fmt.Printf("  unit kill      unit %d at cycle %d\n", k.Unit, k.Cycle)
+	}
+	for _, k := range plan.LinkKills {
+		fmt.Printf("  link kill      stack %d dir %s at cycle %d\n", k.Stack, dirName(k.Dir), k.Cycle)
+	}
+	fmt.Printf("  cache key      %s\n", plan.Key())
+}
+
+// dirName names a mesh link direction (the fault package's layout).
+func dirName(d int) string {
+	switch d {
+	case 0:
+		return "+x (east)"
+	case 1:
+		return "-x (west)"
+	case 2:
+		return "+y (south)"
+	case 3:
+		return "-y (north)"
+	}
+	return fmt.Sprintf("dir %d", d)
 }
 
 func fatal(err error) {

@@ -6,6 +6,7 @@
 //	abndpsim -app pr -design O
 //	abndpsim -app spmv -design Sl -scale 13 -degree 16
 //	abndpsim -app pr -design O -mesh 8 -campcount 7 -ratio 32
+//	abndpsim -app pr -design O -faults "slow:9:4;kill:70@25000" -fault-seed 7
 //	abndpsim -app pr -design O -perfetto trace.json -metrics phases.csv
 //	abndpsim -app pr -design O -pprof :6060 -cpuprofile cpu.out
 package main
@@ -43,6 +44,8 @@ func main() {
 		probeAll = flag.Bool("probe-all", false, "probe every camp on a miss instead of nearest only")
 		torus    = flag.Bool("torus", false, "use a torus instead of a mesh inter-stack network")
 		perfect  = flag.Bool("perfect-hints", false, "supply exact workload hints to the scheduler")
+		faults   = flag.String("faults", "", "fault-injection spec, e.g. 'dram:0.001;slow:9:4;kill:70@25000;link:5:e@12000' (see docs/FAULTS.md)")
+		fseed    = flag.Int64("fault-seed", 0, "decorrelate the DRAM-error stream (overrides a seed: clause in -faults)")
 		trace    = flag.String("trace", "", "write a JSONL per-task completion trace to this file")
 		graphIn  = flag.String("graph", "", "load the input graph from a file (SNAP edge list or .mtx)")
 		perfetto = flag.String("perfetto", "", "write a Perfetto/Chrome trace-event JSON trace to this file")
@@ -89,6 +92,16 @@ func main() {
 	}
 	cfg.ProbeAllCamps = *probeAll
 	cfg.Torus = *torus
+	if *faults != "" {
+		plan, err := abndp.ParseFaults(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Faults = plan
+	}
+	if *fseed != 0 {
+		cfg.Faults.Seed = *fseed
+	}
 
 	p := abndp.Params{Scale: *scale, Degree: *degree, Iters: *iters, Seed: *seed,
 		PerfectHints: *perfect, GraphPath: *graphIn}
@@ -203,6 +216,9 @@ func main() {
 		f.Close()
 	}
 	fmt.Printf("app=%s design=%s\n", res.App, res.Design)
+	if res.Unrecoverable != "" {
+		fmt.Printf("  UNRECOVERABLE %s (at cycle %d)\n", res.Unrecoverable, res.Makespan)
+	}
 	fmt.Printf("  cycles        %d (%.3f ms)\n", res.Makespan, res.Seconds*1e3)
 	fmt.Printf("  tasks         %d over %d timestamps\n", res.Tasks, res.Steps)
 	fmt.Printf("  inter hops    %d\n", res.InterHops)
@@ -246,6 +262,11 @@ func main() {
 	e := res.Energy
 	fmt.Printf("  energy        %.1f uJ (core+SRAM %.1f, DRAM %.1f, interconnect %.1f, static %.1f)\n",
 		e.Total()/1e6, e.CoreSRAM/1e6, e.DRAM/1e6, e.Interconnect/1e6, e.Static/1e6)
+	if f := res.Stats.Faults; !cfg.Faults.Empty() || f.Any() {
+		fmt.Printf("  faults        %d dram retries (%d uncorrected), %d reexecuted, %d redistributed, %d rerouted (+%d hops), %d dead units, %d dead links\n",
+			f.DRAMRetries, f.DRAMUncorrected, f.TasksReExecuted, f.TasksRedistributed,
+			f.ReroutedMsgs, f.ReroutedExtraHops, f.DeadUnits, f.DeadLinks)
+	}
 }
 
 func fatal(err error) {

@@ -20,7 +20,9 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"text/tabwriter"
+	"time"
 
 	"abndp/internal/apps"
 	"abndp/internal/config"
@@ -41,6 +43,14 @@ type Runner struct {
 
 	cache *memo[*ndp.Result]
 	fcach *memo[*ndp.FunctionalResult]
+
+	// Crash isolation (guard.go): failed runs are recorded here and resolve
+	// to placeholder results so the rest of the sweep still renders.
+	failMu      sync.Mutex
+	failures    []RunFailure
+	runDeadline time.Duration
+	deadlineSet bool
+	simHook     func(runSpec) // test hook, called before each guarded run
 
 	// Planning state: while planning, run/functional record the requested
 	// run specs instead of simulating, and return placeholders.
@@ -172,7 +182,7 @@ func (r *Runner) runCfg(spec runSpec) *ndp.Result {
 	}
 	return r.cache.do(k, func() *ndp.Result {
 		r.metrics.addRun()
-		return simulate(spec)
+		return r.safeSimulate(k, spec)
 	})
 }
 
@@ -199,11 +209,7 @@ func (r *Runner) functional(app string) *ndp.FunctionalResult {
 	}
 	return r.fcach.do(k, func() *ndp.FunctionalResult {
 		r.metrics.addRun()
-		a, err := apps.New(app, p)
-		if err != nil {
-			panic(err)
-		}
-		return ndp.RunFunctional(r.base, a)
+		return r.safeFunctional(k, funcSpec{app: app, p: p})
 	})
 }
 
@@ -307,6 +313,8 @@ func (r *Runner) render(name string) error {
 		r.AblationStealing()
 	case "ablwindow":
 		r.AblationWindow()
+	case "resilience":
+		r.Resilience()
 	default:
 		return fmt.Errorf("bench: unknown experiment %q", name)
 	}
@@ -318,9 +326,10 @@ func (r *Runner) render(name string) error {
 // front, so overlapping experiments (most share the design-O defaults)
 // simulate once and the pool sees the widest possible parallelism.
 func (r *Runner) RunAll() {
-	names := make([]string, 0, len(Experiments)+len(AblationExperiments))
+	names := make([]string, 0, len(Experiments)+len(AblationExperiments)+len(ResilienceExperiments))
 	names = append(names, Experiments...)
 	names = append(names, AblationExperiments...)
+	names = append(names, ResilienceExperiments...)
 	if err := r.planAndExecute(names...); err != nil {
 		panic(err)
 	}

@@ -23,6 +23,10 @@ type Metrics struct {
 	Experiments  []ExperimentTiming `json:"experiments"`  // per-experiment render wall-clock
 	TotalSeconds float64            `json:"total_seconds"`
 
+	// Failures lists runs that panicked or hung (guard.go). A non-empty
+	// list means the corresponding table rows hold placeholder values.
+	Failures []RunFailure `json:"failures,omitempty"`
+
 	// Process-wide resource footprint, snapshotted when the metrics are
 	// collected: OS peak resident set (0 on platforms without getrusage)
 	// and the Go runtime's cumulative allocation counters.
@@ -63,6 +67,7 @@ func (r *Runner) Metrics() Metrics {
 	m.Quick = r.quick
 	m.Date = time.Now().Format("2006-01-02T15:04:05Z07:00")
 	m.PeakRSSBytes = peakRSSBytes()
+	m.Failures = r.Failures()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	m.TotalAllocBytes, m.Mallocs, m.NumGC = ms.TotalAlloc, ms.Mallocs, ms.NumGC

@@ -49,7 +49,7 @@ func resultDigest(res *ndp.Result) string {
 // identical per-run result digests — the harness's core determinism
 // contract. A second parallel run must also match the first.
 func TestParallelMatchesSerial(t *testing.T) {
-	names := []string{"fig2", "fig11", "ablsteal"}
+	names := []string{"fig2", "fig11", "ablsteal", "resilience"}
 	if !testing.Short() {
 		names = nil // the full quick-mode suite
 	}

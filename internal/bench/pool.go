@@ -127,7 +127,7 @@ func (r *Runner) executePlan(planned map[string]runSpec, plannedF map[string]fun
 		jobs = append(jobs, func() {
 			r.cache.do(k, func() *ndp.Result {
 				r.metrics.addRun()
-				return simulate(spec)
+				return r.safeSimulate(k, spec)
 			})
 		})
 	}
@@ -143,11 +143,7 @@ func (r *Runner) executePlan(planned map[string]runSpec, plannedF map[string]fun
 		jobs = append(jobs, func() {
 			r.fcach.do(k, func() *ndp.FunctionalResult {
 				r.metrics.addRun()
-				a, err := apps.New(spec.app, spec.p)
-				if err != nil {
-					panic(err)
-				}
-				return ndp.RunFunctional(r.base, a)
+				return r.safeFunctional(k, spec)
 			})
 		})
 	}

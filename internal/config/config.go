@@ -2,7 +2,12 @@
 // Default values reproduce Table 1 of the paper.
 package config
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+
+	"abndp/internal/fault"
+)
 
 // CacheKind selects the data/tag placement of the per-unit remote-data
 // cache, used by the Figure 13 ablation.
@@ -131,6 +136,11 @@ type Config struct {
 
 	// Seed drives every pseudo-random choice in the simulator.
 	Seed int64
+
+	// Faults declares the fault-injection plan for this run. The zero value
+	// injects nothing and is guaranteed zero-cost (byte-identical results to
+	// a fault-free build). See internal/fault and docs/FAULTS.md.
+	Faults fault.Plan
 }
 
 // Default returns the Table 1 configuration.
@@ -211,15 +221,16 @@ func (c *Config) CacheBytes() uint64 {
 	return c.UnitBytes / uint64(c.CacheRatio)
 }
 
-// Validate reports the first invalid parameter combination found.
+// Validate reports the first invalid parameter combination found. Every
+// float field must be finite: a NaN or Inf latency, energy, bandwidth, or
+// multiplier would quietly poison cycle counts and cache keys downstream,
+// so they are rejected here with a descriptive error instead.
 func (c *Config) Validate() error {
 	switch {
 	case c.MeshX <= 0 || c.MeshY <= 0 || c.UnitsPerStack <= 0:
 		return fmt.Errorf("config: bad topology %dx%dx%d", c.MeshX, c.MeshY, c.UnitsPerStack)
 	case c.CoresPerUnit <= 0:
 		return fmt.Errorf("config: CoresPerUnit = %d", c.CoresPerUnit)
-	case c.CoreGHz <= 0:
-		return fmt.Errorf("config: CoreGHz = %v", c.CoreGHz)
 	case c.UnitBytes == 0:
 		return fmt.Errorf("config: UnitBytes = 0")
 	case c.CacheEnabled && c.CacheRatio <= 1:
@@ -228,16 +239,56 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: CacheWays = %d", c.CacheWays)
 	case c.CampCount < 1:
 		return fmt.Errorf("config: CampCount = %d must be >= 1", c.CampCount)
-	case c.BypassProb < 0 || c.BypassProb >= 1:
+	case c.BypassProb < 0 || c.BypassProb >= 1 || math.IsNaN(c.BypassProb):
 		return fmt.Errorf("config: BypassProb = %v out of [0,1)", c.BypassProb)
 	case c.ExchangeInterval <= 0:
 		return fmt.Errorf("config: ExchangeInterval = %d", c.ExchangeInterval)
 	case c.PrefetchWindow < 0:
 		return fmt.Errorf("config: PrefetchWindow = %d", c.PrefetchWindow)
-	case c.InterBWGBs <= 0:
-		return fmt.Errorf("config: InterBWGBs = %v", c.InterBWGBs)
 	case c.SchedulingWindow > 0 && c.SchedulingPeriod <= 0:
 		return fmt.Errorf("config: SchedulingPeriod = %d with a scheduling window", c.SchedulingPeriod)
+	case c.SRAMHitCycles < 0:
+		return fmt.Errorf("config: SRAMHitCycles = %d", c.SRAMHitCycles)
 	}
-	return nil
+	// Strictly positive rates: zero would divide-by-zero or stall the clock.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"CoreGHz", c.CoreGHz},
+		{"DRAMBusGBs", c.DRAMBusGBs},
+		{"InterBWGBs", c.InterBWGBs},
+	} {
+		if !(f.v > 0) || math.IsInf(f.v, 0) { // !(v>0) also catches NaN
+			return fmt.Errorf("config: %s = %v must be finite and > 0", f.name, f.v)
+		}
+	}
+	// Non-negative latencies and energies: NaN, Inf, and negative values are
+	// all rejected.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"TCASns", c.TCASns},
+		{"TRCDns", c.TRCDns},
+		{"TRPns", c.TRPns},
+		{"DRAMPJPerBit", c.DRAMPJPerBit},
+		{"DRAMActPrePJ", c.DRAMActPrePJ},
+		{"IntraHopNS", c.IntraHopNS},
+		{"IntraPJPerBit", c.IntraPJPerBit},
+		{"InterHopNS", c.InterHopNS},
+		{"InterPJPerBit", c.InterPJPerBit},
+		{"CoreIdleWatt", c.CoreIdleWatt},
+		{"CorePJPerInstr", c.CorePJPerInstr},
+		{"SRAMPJPerAccess", c.SRAMPJPerAccess},
+	} {
+		if !(f.v >= 0) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("config: %s = %v must be finite and >= 0", f.name, f.v)
+		}
+	}
+	// HybridAlpha may be negative (sentinel for the default), but not NaN/Inf.
+	if math.IsNaN(c.HybridAlpha) || math.IsInf(c.HybridAlpha, 0) {
+		return fmt.Errorf("config: HybridAlpha = %v must be finite", c.HybridAlpha)
+	}
+	return c.Faults.Validate(c.Units(), c.MeshX*c.MeshY)
 }

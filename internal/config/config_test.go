@@ -1,6 +1,12 @@
 package config
 
-import "testing"
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"abndp/internal/fault"
+)
 
 func TestDefaultMatchesTable1(t *testing.T) {
 	c := Default()
@@ -70,6 +76,52 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 		if err := c.Validate(); err == nil {
 			t.Fatalf("case %d: Validate() accepted invalid config", i)
 		}
+	}
+}
+
+// TestValidateRejectsNonFiniteFloats walks every float64 field of Config by
+// reflection and requires Validate to reject NaN and ±Inf in each, plus
+// negative values everywhere except HybridAlpha (whose negative range is the
+// documented "use the default" sentinel). A new float field that Validate
+// forgets fails here instead of silently poisoning cycle counts.
+func TestValidateRejectsNonFiniteFloats(t *testing.T) {
+	typ := reflect.TypeOf(Config{})
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if f.Type.Kind() != reflect.Float64 {
+			continue
+		}
+		for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+			c := Default()
+			reflect.ValueOf(&c).Elem().Field(i).SetFloat(v)
+			if err := c.Validate(); err == nil {
+				t.Errorf("Validate accepted %s = %v", f.Name, v)
+			}
+		}
+		if f.Name == "HybridAlpha" {
+			continue
+		}
+		c := Default()
+		reflect.ValueOf(&c).Elem().Field(i).SetFloat(-1)
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate accepted %s = -1", f.Name)
+		}
+	}
+}
+
+func TestValidateRejectsBadFaultPlan(t *testing.T) {
+	c := Default()
+	c.Faults = fault.Plan{DRAMErrProb: math.NaN()}
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate accepted a NaN DRAMErrProb")
+	}
+	c.Faults = fault.Plan{UnitKills: []fault.UnitKill{{Unit: c.Units(), Cycle: 1}}}
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate accepted an out-of-range unit kill")
+	}
+	c.Faults = fault.MustParse("dram:0.001;slow:8-11:4;kill:5@100;link:5:+x@10")
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate rejected a sane fault plan: %v", err)
 	}
 }
 

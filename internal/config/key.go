@@ -80,5 +80,6 @@ func (c *Config) CanonicalKey() string {
 	kf(c.SRAMPJPerAccess)
 	ki64(c.SRAMHitCycles)
 	ki64(c.Seed)
+	b.WriteString(c.Faults.Key())
 	return b.String()
 }

@@ -3,6 +3,8 @@ package config
 import (
 	"reflect"
 	"testing"
+
+	"abndp/internal/fault"
 )
 
 // perturb changes field i of c to a value different from its current one.
@@ -19,6 +21,15 @@ func perturb(t *testing.T, c *Config, i int) string {
 		v.SetFloat(v.Float() + 0.125)
 	case reflect.Bool:
 		v.SetBool(!v.Bool())
+	case reflect.Struct:
+		if v.Type() == reflect.TypeOf(fault.Plan{}) {
+			// Field-level coverage of the plan lives in the fault package
+			// (TestPlanKeyCoversEveryField); here it is enough that the plan
+			// participates in the key at all.
+			v.Set(reflect.ValueOf(fault.MustParse("dram:0.125")))
+			break
+		}
+		t.Fatalf("field %s has struct type %s; teach perturb (and CanonicalKey) about it", f.Name, v.Type())
 	default:
 		t.Fatalf("field %s has kind %s; teach perturb (and CanonicalKey) about it", f.Name, v.Kind())
 	}

@@ -25,7 +25,15 @@ type CostModel struct {
 	// single-use line's camp ties with its home at distance zero and load
 	// noise scatters tasks onto camps that will never hit.
 	campPenalty int64
+	// dead, when non-nil, marks failed units whose camp slices no longer
+	// hold data; costmem must not credit them as data locations. Homes stay
+	// valid — a dead unit's memory stack still serves its channel.
+	dead []bool
 }
+
+// SetDeadMask installs the fault layer's dead-unit mask (aliased, updated
+// in place as units fail). Nil — the default — means all units are alive.
+func (c *CostModel) SetDeadMask(dead []bool) { c.dead = dead }
 
 // NewCostModel builds a cost model. campAware selects whether costmem may
 // place data at camp locations (designs C-series caching is present *and*
@@ -72,6 +80,9 @@ func (c *CostModel) MemCost(cands [][]topology.UnitID, u topology.UnitID) float6
 	for _, locs := range cands {
 		best := c.noc.Latency(u, locs[0])
 		for _, loc := range locs[1:] {
+			if c.dead != nil && c.dead[loc] {
+				continue // dead camp: its slice holds no data
+			}
 			if lat := c.noc.Latency(u, loc) + c.campPenalty; lat < best {
 				best = lat
 			}

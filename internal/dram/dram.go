@@ -83,6 +83,21 @@ func bankAndRow(l mem.Line) (bank int, row int64) {
 // transfer chains are resolved analytically at issue time) join the queue
 // at the previous arrival's time.
 func (c *Channel) Access(now int64, l mem.Line) (latency, queued int64, energyPJ float64) {
+	return c.access(now, l, c.occupancy)
+}
+
+// AccessScaled is Access with the channel occupancy multiplied by scale —
+// the fault layer's straggler model, where a degraded channel moves the
+// same line in more cycles (less effective bandwidth). scale 1 is Access.
+func (c *Channel) AccessScaled(now int64, l mem.Line, scale float64) (latency, queued int64, energyPJ float64) {
+	occ := c.occupancy
+	if scale > 1 {
+		occ = int64(float64(occ)*scale + 0.5)
+	}
+	return c.access(now, l, occ)
+}
+
+func (c *Channel) access(now int64, l mem.Line, occ int64) (latency, queued int64, energyPJ float64) {
 	if now > c.lastT {
 		c.backlog -= now - c.lastT
 		if c.backlog < 0 {
@@ -107,8 +122,8 @@ func (c *Channel) Access(now int64, l mem.Line) (latency, queued int64, energyPJ
 		c.rowHits++
 	}
 
-	c.backlog += c.occupancy
-	return queued + access + c.occupancy, queued, energyPJ
+	c.backlog += occ
+	return queued + access + occ, queued, energyPJ
 }
 
 // WorstAccessCycles returns the unloaded row-miss latency (tRP + tRCD +

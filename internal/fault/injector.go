@@ -1,0 +1,133 @@
+package fault
+
+// Injector is the runtime half of the fault layer: the per-run mutable
+// state (dead-unit and dead-link masks, the DRAM-error RNG stream) that
+// the NDP system consults on its hot paths. It is single-goroutine, owned
+// by the simulation that created it, like every other piece of per-run
+// state.
+//
+// The dead masks are exposed as slices (DeadUnits/DeadLinks) so the
+// scheduler and cost model can alias them: a unit marked dead here is
+// excluded from placement on the next call with no extra synchronization.
+type Injector struct {
+	plan   Plan
+	rng    uint64 // splitmix64 state for DRAM error draws
+	drawns bool   // whether the DRAM class is active at all
+
+	deadUnit []bool
+	deadLink []bool // stack*4 + dir
+	live     int
+}
+
+// NewInjector builds the runtime state for a validated plan on a machine
+// with the given unit and stack counts.
+func NewInjector(p Plan, units, stacks int) *Injector {
+	seed := uint64(p.Seed)*0x9e3779b97f4a7c15 + 0x6a09e667f3bcc909
+	return &Injector{
+		plan:     p,
+		rng:      seed,
+		drawns:   p.DRAMErrProb > 0,
+		deadUnit: make([]bool, units),
+		deadLink: make([]bool, stacks*4),
+		live:     units,
+	}
+}
+
+// Plan returns the plan the injector was built from.
+func (in *Injector) Plan() *Plan { return &in.plan }
+
+// TaskRetryMax returns the resolved per-task re-execution budget.
+func (in *Injector) TaskRetryMax() int { return in.plan.EffectiveTaskRetryMax() }
+
+// DeadUnits returns the live dead-unit mask (aliased, updated in place).
+func (in *Injector) DeadUnits() []bool { return in.deadUnit }
+
+// DeadLinks returns the live dead-link mask (aliased, updated in place).
+func (in *Injector) DeadLinks() []bool { return in.deadLink }
+
+// UnitDead reports whether unit u has failed.
+func (in *Injector) UnitDead(u int) bool { return in.deadUnit[u] }
+
+// LinkDead reports whether the directional mesh link has failed.
+func (in *Injector) LinkDead(stack, dir int) bool { return in.deadLink[stack*4+dir] }
+
+// LiveUnits returns the number of units still alive.
+func (in *Injector) LiveUnits() int { return in.live }
+
+// MarkUnitDead fails unit u, reporting false if it was already dead.
+func (in *Injector) MarkUnitDead(u int) bool {
+	if in.deadUnit[u] {
+		return false
+	}
+	in.deadUnit[u] = true
+	in.live--
+	return true
+}
+
+// MarkLinkDead fails a directional link, reporting false if already dead.
+func (in *Injector) MarkLinkDead(stack, dir int) bool {
+	if in.deadLink[stack*4+dir] {
+		return false
+	}
+	in.deadLink[stack*4+dir] = true
+	return true
+}
+
+// next advances the splitmix64 stream.
+func (in *Injector) next() uint64 {
+	in.rng += 0x9e3779b97f4a7c15
+	x := in.rng
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// nextFloat returns a uniform float in [0, 1).
+func (in *Injector) nextFloat() float64 {
+	return float64(in.next()>>11) / float64(1<<53)
+}
+
+// DRAMFault decides the fate of one DRAM access: the number of ECC retry
+// attempts it needs (0 almost always), and whether the error persisted
+// past the retry budget (uncorrected). The RNG only advances when the
+// class is enabled, so plans without DRAM errors stay on the exact event
+// sequence of a fault-free run.
+func (in *Injector) DRAMFault() (retries int, uncorrected bool) {
+	if !in.drawns {
+		return 0, false
+	}
+	max := in.plan.EffectiveDRAMRetryMax()
+	for in.nextFloat() < in.plan.DRAMErrProb {
+		if retries == max {
+			return retries, true
+		}
+		retries++
+	}
+	return retries, false
+}
+
+// CoreFactor returns the compute-time multiplier of unit u at cycle now
+// (1 for healthy units). Overlapping straggler windows multiply.
+func (in *Injector) CoreFactor(u int, now int64) float64 {
+	f := 1.0
+	for i := range in.plan.Stragglers {
+		st := &in.plan.Stragglers[i]
+		if st.Unit == u && st.active(now) {
+			f *= st.CoreFactor
+		}
+	}
+	return f
+}
+
+// ChanFactor returns the DRAM-channel occupancy multiplier of unit u at
+// cycle now (1 for healthy units).
+func (in *Injector) ChanFactor(u int, now int64) float64 {
+	f := 1.0
+	for i := range in.plan.Stragglers {
+		st := &in.plan.Stragglers[i]
+		if st.Unit == u && st.active(now) {
+			f *= st.ChanFactor
+		}
+	}
+	return f
+}

@@ -1,0 +1,214 @@
+// Package fault defines the deterministic fault-injection layer of the
+// simulator: a declarative Plan (part of config.Config) describing which
+// faults strike which units at which cycles, and the Injector that the NDP
+// runtime consults on its hot paths. Four fault classes are modeled:
+//
+//   - transient DRAM errors: each access fails with a configured
+//     probability and is retried ECC-style up to a bounded attempt count,
+//     paying the retry latency and energy; exhausting the budget marks the
+//     access uncorrected and charges a long scrub penalty.
+//   - straggler units: per-unit core-frequency and DRAM-channel-occupancy
+//     multipliers, optionally limited to a cycle window.
+//   - unit failure: at a scheduled cycle a unit's cores and caches die.
+//     The runtime redistributes its queued tasks, re-executes its in-flight
+//     tasks elsewhere, and the scheduler excludes it from placement.
+//   - NoC link failure: a directional inter-stack mesh link dies and X-Y
+//     routed messages detour around it.
+//
+// Everything is seeded and deterministic: the same (Config, Plan) pair
+// produces byte-identical results at any parallelism level.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Mesh link directions, matching the NDP port model's layout
+// (port = stack*4 + dir).
+const (
+	DirPosX = 0
+	DirNegX = 1
+	DirPosY = 2
+	DirNegY = 3
+)
+
+// DirName returns the spec-grammar name of a link direction.
+func DirName(dir int) string {
+	switch dir {
+	case DirPosX:
+		return "+x"
+	case DirNegX:
+		return "-x"
+	case DirPosY:
+		return "+y"
+	case DirNegY:
+		return "-y"
+	}
+	return fmt.Sprintf("dir(%d)", dir)
+}
+
+// Straggler slows one unit down: CoreFactor multiplies the compute time of
+// every task it executes, ChanFactor multiplies its DRAM channel occupancy
+// (cutting effective bandwidth). The slowdown applies in the cycle window
+// [From, Until); Until == 0 means forever.
+type Straggler struct {
+	Unit       int
+	CoreFactor float64
+	ChanFactor float64
+	From       int64
+	Until      int64
+}
+
+// active reports whether the straggler window covers cycle now.
+func (st *Straggler) active(now int64) bool {
+	return now >= st.From && (st.Until == 0 || now < st.Until)
+}
+
+// UnitKill fails one unit's logic die at the given cycle. The stack's
+// memory survives — the unit's home lines stay readable through its DRAM
+// channel — but its cores, queues, and Traveller camp slice are gone.
+type UnitKill struct {
+	Unit  int
+	Cycle int64
+}
+
+// LinkKill fails one directional inter-stack mesh link at the given cycle.
+type LinkKill struct {
+	Stack int
+	Dir   int
+	Cycle int64
+}
+
+// Plan declares every fault injected into one run. The zero value injects
+// nothing and is guaranteed zero-cost: a run with an empty Plan is
+// byte-identical to one on a build without the fault layer.
+type Plan struct {
+	// Seed decorrelates the DRAM-error stream from the config seed. Two
+	// plans differing only in Seed draw different error positions.
+	Seed int64
+
+	// DRAMErrProb is the per-access probability of a transient DRAM error;
+	// zero disables the class. DRAMRetryMax bounds the ECC retry attempts
+	// per access (0 means the default of 3).
+	DRAMErrProb  float64
+	DRAMRetryMax int
+
+	// TaskRetryMax bounds how often one task may be re-executed after unit
+	// failures before the run is declared unrecoverable (0 = default 8).
+	TaskRetryMax int
+
+	Stragglers []Straggler
+	UnitKills  []UnitKill
+	LinkKills  []LinkKill
+}
+
+// Empty reports whether the plan injects no faults at all. Seed and the
+// retry budgets alone do not activate the layer.
+func (p *Plan) Empty() bool {
+	return p.DRAMErrProb == 0 &&
+		len(p.Stragglers) == 0 && len(p.UnitKills) == 0 && len(p.LinkKills) == 0
+}
+
+const (
+	defaultDRAMRetryMax = 3
+	defaultTaskRetryMax = 8
+)
+
+// EffectiveDRAMRetryMax resolves the per-access ECC retry budget.
+func (p *Plan) EffectiveDRAMRetryMax() int {
+	if p.DRAMRetryMax <= 0 {
+		return defaultDRAMRetryMax
+	}
+	return p.DRAMRetryMax
+}
+
+// EffectiveTaskRetryMax resolves the per-task re-execution budget.
+func (p *Plan) EffectiveTaskRetryMax() int {
+	if p.TaskRetryMax <= 0 {
+		return defaultTaskRetryMax
+	}
+	return p.TaskRetryMax
+}
+
+// Validate checks the plan against a machine with the given unit and stack
+// counts. Every numeric field must be finite and in range.
+func (p *Plan) Validate(units, stacks int) error {
+	if math.IsNaN(p.DRAMErrProb) || math.IsInf(p.DRAMErrProb, 0) || p.DRAMErrProb < 0 || p.DRAMErrProb >= 1 {
+		return fmt.Errorf("fault: DRAMErrProb = %v out of [0,1)", p.DRAMErrProb)
+	}
+	if p.DRAMRetryMax < 0 {
+		return fmt.Errorf("fault: DRAMRetryMax = %d", p.DRAMRetryMax)
+	}
+	if p.TaskRetryMax < 0 {
+		return fmt.Errorf("fault: TaskRetryMax = %d", p.TaskRetryMax)
+	}
+	for i, st := range p.Stragglers {
+		switch {
+		case st.Unit < 0 || st.Unit >= units:
+			return fmt.Errorf("fault: straggler %d: unit %d out of [0,%d)", i, st.Unit, units)
+		case !finiteMin(st.CoreFactor, 1):
+			return fmt.Errorf("fault: straggler %d: CoreFactor = %v must be finite and >= 1", i, st.CoreFactor)
+		case !finiteMin(st.ChanFactor, 1):
+			return fmt.Errorf("fault: straggler %d: ChanFactor = %v must be finite and >= 1", i, st.ChanFactor)
+		case st.From < 0 || st.Until < 0 || (st.Until != 0 && st.Until <= st.From):
+			return fmt.Errorf("fault: straggler %d: window [%d,%d)", i, st.From, st.Until)
+		}
+	}
+	for i, k := range p.UnitKills {
+		if k.Unit < 0 || k.Unit >= units {
+			return fmt.Errorf("fault: kill %d: unit %d out of [0,%d)", i, k.Unit, units)
+		}
+		if k.Cycle < 0 {
+			return fmt.Errorf("fault: kill %d: cycle %d", i, k.Cycle)
+		}
+	}
+	for i, k := range p.LinkKills {
+		switch {
+		case k.Stack < 0 || k.Stack >= stacks:
+			return fmt.Errorf("fault: link kill %d: stack %d out of [0,%d)", i, k.Stack, stacks)
+		case k.Dir < DirPosX || k.Dir > DirNegY:
+			return fmt.Errorf("fault: link kill %d: direction %d", i, k.Dir)
+		case k.Cycle < 0:
+			return fmt.Errorf("fault: link kill %d: cycle %d", i, k.Cycle)
+		}
+	}
+	return nil
+}
+
+// finiteMin reports whether v is finite and at least min.
+func finiteMin(v, min float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= min
+}
+
+// Key returns a compact canonical fingerprint of the plan, appended to
+// config.CanonicalKey so fault plans participate in simulation-result
+// cache keys. Like CanonicalKey it is explicit field by field;
+// TestPlanKeyCoversEveryField fails when a new field is forgotten.
+func (p *Plan) Key() string {
+	if p.Empty() && p.Seed == 0 && p.DRAMRetryMax == 0 && p.TaskRetryMax == 0 {
+		// The overwhelmingly common case: no faults configured at all.
+		return "-"
+	}
+	var b strings.Builder
+	b.Grow(64)
+	b.WriteString(strconv.FormatInt(p.Seed, 10))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatFloat(p.DRAMErrProb, 'g', -1, 64))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(p.DRAMRetryMax))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(p.TaskRetryMax))
+	for _, st := range p.Stragglers {
+		fmt.Fprintf(&b, "|s%d:%g:%g:%d:%d", st.Unit, st.CoreFactor, st.ChanFactor, st.From, st.Until)
+	}
+	for _, k := range p.UnitKills {
+		fmt.Fprintf(&b, "|k%d:%d", k.Unit, k.Cycle)
+	}
+	for _, k := range p.LinkKills {
+		fmt.Fprintf(&b, "|l%d:%d:%d", k.Stack, k.Dir, k.Cycle)
+	}
+	return b.String()
+}

@@ -13,6 +13,11 @@ func FuzzLoadEdgeList(f *testing.F) {
 	f.Add("")
 	f.Add("1 2 3 4 5\n")
 	f.Add("-1 -2\n")
+	f.Add("0 1\n1 2\n2 0 4.5\n0 2\n") // weight backfill path
+	f.Add("0 1 NaN\n")
+	f.Add("0 1 -Inf\n")
+	f.Add("0 1 1e40\n")
+	f.Add("0 99999999999999999999\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		g, err := LoadEdgeList(strings.NewReader(in))
 		if err != nil {
@@ -31,6 +36,10 @@ func FuzzLoadMatrixMarket(f *testing.F) {
 	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n1 2\n")
 	f.Add("")
 	f.Add("%%MatrixMarket matrix coordinate real general\n0 0 0\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 0\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 NaN\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 2 5\n2 3 6\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		g, err := LoadMatrixMarket(strings.NewReader(in))
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -60,6 +61,9 @@ func LoadEdgeList(r io.Reader) (*CSR, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graph: edge list line %d: %v", lineNo, err)
 			}
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("graph: edge list line %d: non-finite weight %v", lineNo, w)
+			}
 			// Backfill default weights for earlier weightless lines.
 			for len(wts) < len(src)-1 {
 				wts = append(wts, 1)
@@ -114,6 +118,9 @@ func LoadMatrixMarket(r io.Reader) (*CSR, error) {
 	if nRows <= 0 {
 		return nil, fmt.Errorf("graph: MatrixMarket missing size line")
 	}
+	if nCols <= 0 || nnz <= 0 {
+		return nil, fmt.Errorf("graph: MatrixMarket size %dx%d with %d entries", nRows, nCols, nnz)
+	}
 	n := nRows
 	if nCols > n {
 		n = nCols
@@ -146,6 +153,9 @@ func LoadMatrixMarket(r io.Reader) (*CSR, error) {
 			v, err := strconv.ParseFloat(fields[2], 32)
 			if err != nil {
 				return nil, fmt.Errorf("graph: MatrixMarket entry %q: %v", line, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("graph: MatrixMarket entry %q: non-finite weight", line)
 			}
 			w = float32(v)
 		}

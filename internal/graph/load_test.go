@@ -54,10 +54,44 @@ func TestLoadEdgeListWeighted(t *testing.T) {
 }
 
 func TestLoadEdgeListErrors(t *testing.T) {
-	for _, in := range []string{"", "# only comments\n", "1\n", "a b\n", "1 2 x\n"} {
+	bad := []string{
+		"", "# only comments\n", "1\n", "a b\n", "1 2 x\n",
+		"0 1 NaN\n",                  // non-finite weight
+		"0 1 Inf\n",                  // non-finite weight
+		"0 1 -Inf\n",                 // non-finite weight
+		"0 1\n1 2 nan\n",             // non-finite weight on the line that flips sawWeight
+		"0 1 1e40\n",                 // overflows float32
+		"0 99999999999999999999 1\n", // vertex id overflows int64
+	}
+	for _, in := range bad {
 		if _, err := LoadEdgeList(strings.NewReader(in)); err == nil {
 			t.Fatalf("LoadEdgeList accepted %q", in)
 		}
+	}
+}
+
+func TestLoadEdgeListBackfill(t *testing.T) {
+	// The first weighted line appears after two weightless ones: earlier
+	// edges backfill weight 1 and later weightless lines default to 1.
+	in := "0 1\n1 2\n2 0 4.5\n0 2\n"
+	g, err := LoadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.W) != 4 {
+		t.Fatalf("weights = %v, want 4 entries", g.W)
+	}
+	ones := 0
+	for _, w := range g.W {
+		if w == 1 {
+			ones++
+		}
+	}
+	if ones != 3 {
+		t.Fatalf("backfilled/default weights = %d, want 3 (weights %v)", ones, g.W)
 	}
 }
 
@@ -113,8 +147,14 @@ func TestLoadMatrixMarketErrors(t *testing.T) {
 	bad := []string{
 		"",
 		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n",
-		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n", // short
-		"%%MatrixMarket matrix coordinate real general\n2 2 1\n9 9 1\n", // out of range
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n",   // truncated
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n9 9 1\n",   // out of range
+		"%%MatrixMarket matrix coordinate real general\n2 2 0\n",          // zero entries
+		"%%MatrixMarket matrix coordinate real general\n2 0 1\n1 1 1\n",   // zero columns
+		"%%MatrixMarket matrix coordinate real general\n2 2 -1\n",         // negative count
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 NaN\n", // non-finite
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 Inf\n", // non-finite
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n",          // no entries at all
 	}
 	for _, in := range bad {
 		if _, err := LoadMatrixMarket(strings.NewReader(in)); err == nil {

@@ -37,7 +37,13 @@ func (s *System) chargeMsg(r, from, to topology.UnitID, bytes int) {
 // folded into the caller's transfer chain.
 func (s *System) dramAccess(at topology.UnitID, l mem.Line, write bool) int64 {
 	st := &s.Stats.Units[at]
-	lat, queued, pj := s.units[at].dram.Access(s.Engine.Now(), l)
+	var lat, queued int64
+	var pj float64
+	if s.flt == nil {
+		lat, queued, pj = s.units[at].dram.Access(s.Engine.Now(), l)
+	} else {
+		lat, queued, pj = s.faultyDRAMAccess(at, l)
+	}
 	st.DRAMQueueCycles += queued
 	if s.obsM != nil {
 		s.obsM.DRAMAccess(queued, write)
@@ -69,14 +75,16 @@ func (s *System) portInject(from, to topology.UnitID, t int64) int64 {
 	sf, st := s.Topo.StackOf(from), s.Topo.StackOf(to)
 	fx, fy := s.Topo.Coord(sf)
 	tx, ty := s.Topo.Coord(st)
-	dir := 0 // +X
-	switch {
-	case tx < fx:
-		dir = 1 // -X
-	case tx == fx && ty > fy:
-		dir = 2 // +Y
-	case tx == fx:
-		dir = 3 // -Y
+	dir := noc.XYDir(fx, fy, tx, ty)
+	if s.flt != nil && s.flt.LinkDead(int(sf), dir) {
+		var extra int
+		dir, extra = s.detourDir(int(sf), fx, fy, tx, ty, dir)
+		s.Stats.Faults.ReroutedMsgs++
+		s.Stats.Faults.ReroutedExtraHops += int64(extra)
+		if s.obsM != nil {
+			s.obsM.FaultRerouted(extra)
+		}
+		t += int64(extra) * s.Noc.InterHopCycles()
 	}
 	port := int(sf)*4 + dir
 	if s.obsM != nil {
@@ -139,6 +147,12 @@ func (s *System) transfer(u topology.UnitID, l mem.Line, now int64) int64 {
 	if isHome {
 		// §4.3: when the home is the nearest location we go straight
 		// there; distant camps are never probed.
+		return s.fromHome(u, home, l, now)
+	}
+	if s.flt != nil && s.flt.UnitDead(int(nearest)) {
+		// The nearest camp died: its slice holds nothing and will never
+		// again accept inserts, so the request goes straight home instead
+		// of paying a guaranteed-miss probe detour.
 		return s.fromHome(u, home, l, now)
 	}
 
@@ -231,6 +245,9 @@ func (s *System) probeRemainingCamps(u, first topology.UnitID, l mem.Line, t int
 	for _, c := range camps {
 		if c == first || c == home {
 			continue
+		}
+		if s.flt != nil && s.flt.UnitDead(int(c)) {
+			continue // dead camp: nothing to probe
 		}
 		s.chargeMsg(u, at, c, noc.CtrlBytes)
 		t += s.Noc.Latency(at, c)

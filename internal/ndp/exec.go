@@ -85,6 +85,18 @@ func (s *System) startTimestamp() {
 // inside the prefetch window.
 // The task's workload is already part of trueW (added at placement).
 func (s *System) push(t *task.Task) {
+	if s.flt != nil && s.flt.UnitDead(int(t.Target)) {
+		// Placed before its target died (e.g. pending across the barrier);
+		// re-place now, on a live unit.
+		s.trueW[t.Target] -= t.Hint.EstimatedWorkload()
+		t.Prefetched = false
+		s.Stats.Faults.TasksRedistributed++
+		if s.obsM != nil {
+			s.obsM.FaultRedistributed()
+		}
+		s.redistribute(t, int(t.Target))
+		return
+	}
 	u := s.units[t.Target]
 	u.queue.Push(t)
 	if w := s.Cfg.PrefetchWindow; w > 0 && u.queue.Len() <= w && !t.Prefetched {
@@ -118,6 +130,9 @@ func (s *System) issuePrefetch(u *unit, t *task.Task) {
 
 // dispatch hands queued tasks to idle cores of u.
 func (s *System) dispatch(u *unit) {
+	if s.flt != nil && s.flt.UnitDead(int(u.id)) {
+		return // dead cores run nothing
+	}
 	for {
 		if u.queue.Len() == 0 {
 			s.onIdle(u)
@@ -151,6 +166,7 @@ type completion struct {
 	t        *task.Task
 	dur      int64
 	stall    int64
+	instrs   int64
 	children []*task.Task
 	fire     func()
 }
@@ -166,10 +182,10 @@ func (s *System) newCompletion() *completion {
 	c := &completion{}
 	c.fire = func() {
 		cs, u, ci, t := c.s, c.u, c.ci, c.t
-		dur, stall, children := c.dur, c.stall, c.children
+		dur, stall, instrs, children := c.dur, c.stall, c.instrs, c.children
 		*c = completion{fire: c.fire}
 		cs.compPool = append(cs.compPool, c)
-		cs.complete(u, ci, t, dur, stall, children)
+		cs.complete(u, ci, t, dur, stall, instrs, children)
 	}
 	return c
 }
@@ -197,34 +213,65 @@ func (s *System) execute(u *unit, ci int, t *task.Task) {
 		stall = 0
 	}
 
-	// The per-System ExecCtx is reused across tasks; ownership of the
-	// children slice is handed to the completion event below.
-	s.execCtx.sys = s
-	s.execCtx.unit = u.id
-	s.execCtx.children = s.childBuf()
-	instrs := s.app.Execute(t, &s.execCtx)
+	var instrs int64
+	var children []*task.Task
+	if t.Replay != nil {
+		// Re-execution after a unit failure: application Execute calls are
+		// not idempotent (they enqueue children), so replay the recorded
+		// effects of the lost execution instead of calling Execute again.
+		instrs = t.Replay.Instrs
+		children = t.Replay.Children
+		t.Replay = nil
+	} else {
+		// The per-System ExecCtx is reused across tasks; ownership of the
+		// children slice is handed to the completion event below.
+		s.execCtx.sys = s
+		s.execCtx.unit = u.id
+		s.execCtx.children = s.childBuf()
+		instrs = s.app.Execute(t, &s.execCtx)
+		children = s.execCtx.children
+		s.execCtx.children = nil
+	}
 
 	st := &s.Stats.Units[u.id]
 	st.StallCycles += stall
 	st.Energy.CoreSRAM += float64(instrs)*s.Cfg.CorePJPerInstr +
 		float64(len(t.Hint.Lines))*s.Cfg.SRAMPJPerAccess
 
-	dur := stall + int64(len(t.Hint.Lines))*s.sramHitCycles + instrs
+	comp := int64(len(t.Hint.Lines))*s.sramHitCycles + instrs
+	if s.flt != nil {
+		if f := s.flt.CoreFactor(int(u.id), now); f > 1 {
+			comp = int64(float64(comp)*f + 0.5) // straggler core slowdown
+		}
+	}
+	dur := stall + comp
 	if dur < 1 {
 		dur = 1
 	}
 	u.cores[ci].busy = true
 	c := s.newCompletion()
 	c.s, c.u, c.ci, c.t = s, u, ci, t
-	c.dur, c.stall, c.children = dur, stall, s.execCtx.children
-	s.execCtx.children = nil
+	c.dur, c.stall, c.instrs, c.children = dur, stall, instrs, children
 	s.Engine.After(dur, c.fire)
 }
 
 // complete finishes a task: frees the core, posts the main-element write,
 // schedules children for the next timestamp, and triggers the barrier when
 // the phase drains.
-func (s *System) complete(u *unit, ci int, t *task.Task, dur, stall int64, children []*task.Task) {
+func (s *System) complete(u *unit, ci int, t *task.Task, dur, stall, instrs int64, children []*task.Task) {
+	if s.flt != nil {
+		if s.unrecoverable != "" {
+			return
+		}
+		if s.flt.UnitDead(int(u.id)) {
+			// The unit died mid-execution: the work is lost; re-run it on a
+			// survivor. No core to free, no write posted, no task counted.
+			s.recoverLost(u, t, instrs, children)
+			return
+		}
+		s.fltWork[u.id] += t.Hint.EstimatedWorkload()
+		s.fltBusy[u.id] += dur
+	}
 	u.cores[ci].busy = false
 	u.cores[ci].activeCycles += dur
 	st := &s.Stats.Units[u.id]
@@ -321,6 +368,9 @@ func (s *System) runScheduler(u *unit) {
 // maybeBarrier fires the timestamp barrier once all tasks have completed
 // AND every scheduling window has drained.
 func (s *System) maybeBarrier() {
+	if s.finished {
+		return
+	}
 	if s.outstanding == 0 && s.schedQOutstanding == 0 {
 		s.endTimestamp()
 	}
@@ -357,6 +407,11 @@ func (s *System) scheduleExchange() {
 		if s.finished {
 			return
 		}
+		if s.flt != nil {
+			// Ride the exchange: units report observed service rates along
+			// with their loads, so the hybrid score can discount stragglers.
+			s.updateServiceRates()
+		}
 		s.Sched.Exchange(s.trueW)
 		s.chargeExchange()
 		s.scheduleExchange()
@@ -388,6 +443,9 @@ func (s *System) chargeExchange() {
 func (s *System) onIdle(u *unit) {
 	if !s.Design.UsesStealing() || s.finished || s.outstanding == 0 || u.stealInFlight {
 		return
+	}
+	if s.flt != nil && s.flt.UnitDead(int(u.id)) {
+		return // dead units do not steal
 	}
 	// Classic randomized work stealing [Blumofe & Leiserson]: the thief
 	// probes a uniformly random victim with a request/reply round trip; it
@@ -422,6 +480,9 @@ func (s *System) onIdle(u *unit) {
 // heading for the victim's buffers, not the thief's). Empty probes back
 // off exponentially so a starved system does not spin on probe traffic.
 func (s *System) arriveSteal(u *unit, victim topology.UnitID) {
+	if s.flt != nil && s.flt.UnitDead(int(u.id)) {
+		return // the thief died while its probe was in flight
+	}
 	v := s.units[victim]
 	n := v.queue.Len() / 2
 	if n > s.Cfg.StealBatch {

@@ -1,0 +1,283 @@
+package ndp
+
+// Fault-injection runtime: the graceful-degradation half of internal/fault.
+// Everything here is reached only when Cfg.Faults is non-empty (s.flt is
+// nil otherwise and every probe site is a single nil check), so a run with
+// an empty plan is byte-identical to one on a build without this file.
+
+import (
+	"fmt"
+
+	"abndp/internal/fault"
+	"abndp/internal/mem"
+	"abndp/internal/noc"
+	"abndp/internal/task"
+	"abndp/internal/topology"
+)
+
+// armFaults builds the injector, shares its dead masks with the scheduler
+// and cost model, and schedules every planned unit and link kill as an
+// engine event. Called from NewSystem when the plan is non-empty.
+func (s *System) armFaults() {
+	units := len(s.units)
+	s.flt = fault.NewInjector(s.Cfg.Faults, units, s.Topo.Stacks())
+	s.Sched.SetDeadMask(s.flt.DeadUnits())
+	s.Cost.SetDeadMask(s.flt.DeadUnits())
+
+	s.fltRates = make([]float64, units)
+	s.fltTput = make([]float64, units)
+	s.fltWork = make([]float64, units)
+	s.fltBusy = make([]int64, units)
+	s.fltLastWork = make([]float64, units)
+	s.fltLastBusy = make([]int64, units)
+	for i := range s.fltRates {
+		s.fltRates[i] = 1
+	}
+	s.Sched.SetServiceRates(s.fltRates)
+
+	for _, k := range s.Cfg.Faults.UnitKills {
+		k := k
+		s.Engine.At(k.Cycle, func() { s.failUnit(k.Unit) })
+	}
+	for _, k := range s.Cfg.Faults.LinkKills {
+		k := k
+		s.Engine.At(k.Cycle, func() { s.failLink(k.Stack, k.Dir) })
+	}
+}
+
+// abort declares the run unrecoverable: graceful degradation has run out
+// of places to put work. The makespan freezes at the verdict cycle and the
+// engine stops instead of draining its queue.
+func (s *System) abort(reason string) {
+	if s.unrecoverable != "" {
+		return
+	}
+	s.unrecoverable = reason
+	s.finished = true
+	s.Stats.Makespan = s.Engine.Now()
+	if s.obsT != nil {
+		s.obsT.Instant(s.obsPidSystem(), 0, "unrecoverable: "+reason, s.Engine.Now())
+	}
+	s.Engine.Stop()
+}
+
+// failUnit executes a planned unit kill: the unit's cores, queues, and
+// Traveller camp slice die. Its memory stack survives — home lines stay
+// readable through the DRAM channel — so recovery means moving work, not
+// data: queued tasks are re-placed on live units, tasks waiting in the
+// scheduling window are placed by the nearest live neighbor, and in-flight
+// tasks re-execute elsewhere when their completion events find the unit
+// dead (see complete/recoverLost).
+func (s *System) failUnit(id int) {
+	if s.finished || !s.flt.MarkUnitDead(id) {
+		return
+	}
+	s.Stats.Faults.DeadUnits++
+	u := s.units[id]
+	if u.cache != nil {
+		u.cache.Disable()
+	}
+	u.pfbuf.Invalidate()
+	u.l1.Invalidate()
+	if s.obsT != nil {
+		s.obsT.Instant(id, 0, "unit failed", s.Engine.Now())
+	}
+
+	if s.flt.LiveUnits() == 0 {
+		s.abort("every NDP unit failed")
+		return
+	}
+
+	for u.queue.Len() > 0 {
+		t := u.queue.Pop()
+		s.trueW[id] -= t.Hint.EstimatedWorkload()
+		t.Prefetched = false
+		s.Stats.Faults.TasksRedistributed++
+		if s.obsM != nil {
+			s.obsM.FaultRedistributed()
+		}
+		s.redistribute(t, id)
+	}
+
+	if len(u.schedQ) > 0 {
+		// Next-timestamp children awaiting placement: the nearest live
+		// neighbor's scheduler adopts them immediately (its window is not
+		// modeled for this burst; the adopted unit is already paying the
+		// recovery messages).
+		origin := s.Sched.NearestLive(topology.UnitID(id))
+		n := int64(len(u.schedQ))
+		for i, c := range u.schedQ {
+			s.placeTask(c, origin)
+			s.pending = append(s.pending, c)
+			u.schedQ[i] = nil
+		}
+		u.schedQ = u.schedQ[:0]
+		s.schedQOutstanding -= n
+	}
+
+	for _, v := range s.units {
+		if !s.flt.UnitDead(int(v.id)) {
+			s.dispatch(v)
+		}
+	}
+	s.maybeBarrier()
+}
+
+// failLink executes a planned link kill. Routing detours happen lazily in
+// portInject as messages arrive at the dead link.
+func (s *System) failLink(stack, dir int) {
+	if s.finished || !s.flt.MarkLinkDead(stack, dir) {
+		return
+	}
+	s.Stats.Faults.DeadLinks++
+	if s.obsT != nil {
+		s.obsT.Instant(s.obsPidSystem(), 0,
+			fmt.Sprintf("link failed: stack %d %s", stack, fault.DirName(dir)), s.Engine.Now())
+	}
+}
+
+// redistribute re-places a task that lost its unit, from the perspective
+// of the nearest live neighbor of the failure site, and enqueues it there.
+func (s *System) redistribute(t *task.Task, from int) {
+	origin := s.Sched.NearestLive(topology.UnitID(from))
+	if origin < 0 {
+		s.abort("no live unit left to adopt redistributed tasks")
+		return
+	}
+	s.placeTask(t, origin)
+	s.push(t)
+}
+
+// recoverLost handles a completion event that fired on a dead unit: the
+// execution was lost mid-flight. The recorded effects (instruction count
+// and spawned children) replay on a surviving unit — application Execute
+// calls are not idempotent, so the re-execution replays instead of
+// re-calling Execute — under a bounded retry budget with an explicit
+// unrecoverable verdict, never a silent hang.
+func (s *System) recoverLost(u *unit, t *task.Task, instrs int64, children []*task.Task) {
+	t.Retries++
+	if max := s.flt.TaskRetryMax(); t.Retries > max {
+		s.abort(fmt.Sprintf("task (kind %d, elem %d, ts %d) exceeded %d re-execution attempts",
+			t.Kind, t.Elem, t.TS, max))
+		return
+	}
+	s.Stats.Faults.TasksReExecuted++
+	if s.obsM != nil {
+		s.obsM.FaultReExecuted()
+	}
+	if s.obsT != nil {
+		s.obsT.Instant(int(u.id), 0, "task lost, re-executing", s.Engine.Now(),
+			"elem", t.Elem, "retry", t.Retries)
+	}
+	t.Replay = &task.Replay{Instrs: instrs, Children: children}
+	t.Prefetched = false
+	s.redistribute(t, int(u.id))
+	if s.unrecoverable == "" {
+		s.dispatch(s.units[t.Target])
+	}
+}
+
+// faultyDRAMAccess is dramAccess's channel access under an active fault
+// plan: the straggler channel-occupancy multiplier applies, and the
+// transient-error stream may demand ECC retries — each a full re-access —
+// or, past the retry budget, an uncorrected verdict that pays a long
+// scrub-and-recover penalty.
+func (s *System) faultyDRAMAccess(at topology.UnitID, l mem.Line) (lat, queued int64, pj float64) {
+	now := s.Engine.Now()
+	ch := s.units[at].dram
+	scale := s.flt.ChanFactor(int(at), now)
+	lat, queued, pj = ch.AccessScaled(now, l, scale)
+	retries, uncorrected := s.flt.DRAMFault()
+	if retries == 0 && !uncorrected {
+		return lat, queued, pj
+	}
+	for i := 0; i < retries; i++ {
+		l2, q2, p2 := ch.AccessScaled(now, l, scale)
+		lat += l2
+		queued += q2
+		pj += p2
+	}
+	s.Stats.Faults.DRAMRetries += int64(retries)
+	if uncorrected {
+		s.Stats.Faults.DRAMUncorrected++
+		// ECC gave up: model the higher-level scrub + recovery round trip.
+		lat += 16 * ch.WorstAccessCycles()
+	}
+	if s.obsM != nil {
+		s.obsM.FaultDRAMRetry(retries, uncorrected)
+	}
+	return lat, queued, pj
+}
+
+// detourDir picks the injection port for a message whose X-Y first hop at
+// stack sf is dead, routing around the failure. When the route also moves
+// in the orthogonal dimension, taking that dimension first (Y-X instead of
+// X-Y order) reaches the destination in the same hop count — zero extra
+// hops. Otherwise the message detours sideways through a neighboring
+// row/column and back: two extra hops. A stack with all four links dead is
+// cut off from the mesh; the message pays a mesh-diameter penalty on the
+// dead port, modeling slow software-level recovery through the host.
+func (s *System) detourDir(sf, fx, fy, tx, ty, dead int) (dir, extraHops int) {
+	if dead == fault.DirPosX || dead == fault.DirNegX {
+		if ty != fy {
+			if alt := noc.XYDir(fx, fy, fx, ty); !s.flt.LinkDead(sf, alt) {
+				return alt, 0
+			}
+		}
+	} else if tx != fx {
+		if alt := noc.XYDir(fx, fy, tx, fy); !s.flt.LinkDead(sf, alt) {
+			return alt, 0
+		}
+	}
+	for d := 0; d < 4; d++ {
+		if d != dead && !s.flt.LinkDead(sf, d) {
+			return d, 2
+		}
+	}
+	return dead, 2 * (s.Cfg.MeshX + s.Cfg.MeshY)
+}
+
+// updateServiceRates folds the per-unit throughput observed since the last
+// exchange into fltRates (shared with the scheduler): each unit's work
+// completed per busy cycle, normalized to the mean over units with
+// evidence, clamped to [0.05, 1]. A straggler's completions take longer,
+// its rate drops below 1, and the hybrid load term sees it as
+// proportionally more loaded — no explicit straggler signal needed.
+func (s *System) updateServiceRates() {
+	var sum float64
+	n := 0
+	for i := range s.units {
+		dw := s.fltWork[i] - s.fltLastWork[i]
+		db := s.fltBusy[i] - s.fltLastBusy[i]
+		s.fltLastWork[i] = s.fltWork[i]
+		s.fltLastBusy[i] = s.fltBusy[i]
+		if dw > 0 && db > 0 {
+			s.fltTput[i] = dw / float64(db)
+			sum += s.fltTput[i]
+			n++
+		} else {
+			s.fltTput[i] = 0 // no evidence this interval
+		}
+	}
+	if n == 0 || sum <= 0 {
+		return // keep the previous rates
+	}
+	mean := sum / float64(n)
+	for i := range s.fltRates {
+		if s.fltTput[i] <= 0 {
+			s.fltRates[i] = 1
+			continue
+		}
+		r := s.fltTput[i] / mean
+		if r < 0.05 {
+			r = 0.05
+		}
+		if r > 1 {
+			r = 1
+		}
+		s.fltRates[i] = r
+	}
+}
+
+// Unrecoverable returns the abort reason, or "" for a completed run.
+func (s *System) Unrecoverable() string { return s.unrecoverable }

@@ -19,6 +19,12 @@ type Result struct {
 	InterHops int64 // Figure 8 metric
 	Energy    energy.Breakdown
 
+	// Unrecoverable is the fault layer's verdict when graceful degradation
+	// gave up (retry budget exhausted, no live units); "" for a completed
+	// run. The makespan of an unrecoverable run is the cycle of the
+	// verdict, and its per-design statistics cover work finished up to it.
+	Unrecoverable string
+
 	Stats *stats.System
 }
 
@@ -41,14 +47,15 @@ func (s *System) finalize() *Result {
 		}
 	}
 	return &Result{
-		App:       s.app.Name(),
-		Design:    s.Design,
-		Makespan:  s.Stats.Makespan,
-		Seconds:   secs,
-		Tasks:     s.Stats.Tasks,
-		Steps:     s.Stats.Steps,
-		InterHops: s.Stats.TotalInterHops(),
-		Energy:    s.Stats.TotalEnergy(),
-		Stats:     s.Stats,
+		App:           s.app.Name(),
+		Design:        s.Design,
+		Makespan:      s.Stats.Makespan,
+		Seconds:       secs,
+		Tasks:         s.Stats.Tasks,
+		Steps:         s.Stats.Steps,
+		InterHops:     s.Stats.TotalInterHops(),
+		Energy:        s.Stats.TotalEnergy(),
+		Unrecoverable: s.unrecoverable,
+		Stats:         s.Stats,
 	}
 }

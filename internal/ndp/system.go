@@ -8,6 +8,7 @@ import (
 	"abndp/internal/config"
 	"abndp/internal/core"
 	"abndp/internal/dram"
+	"abndp/internal/fault"
 	"abndp/internal/mem"
 	"abndp/internal/noc"
 	"abndp/internal/obs"
@@ -74,6 +75,24 @@ type System struct {
 	lastProbed        topology.UnitID // scratch for the probe-all-camps chain
 	tracer            func(TaskTrace) // optional per-task completion callback
 	sampleUtil        bool            // record Stats.Timeline
+
+	// Fault injection (internal/fault). flt is nil when Cfg.Faults is empty,
+	// and every fault probe site is a nil check against this field — the
+	// same zero-cost-when-off discipline as the observer. unrecoverable is
+	// set (with a reason) when graceful degradation gives up: retry budget
+	// exhausted or no live units left.
+	flt           *fault.Injector
+	unrecoverable string
+	// Observed service-rate estimation for the degraded hybrid score: work
+	// completed and busy cycles per unit, cumulative and at the last
+	// exchange, folded into fltRates (shared with the scheduler) each
+	// exchange tick.
+	fltRates    []float64
+	fltTput     []float64
+	fltWork     []float64
+	fltBusy     []int64
+	fltLastWork []float64
+	fltLastBusy []int64
 
 	// Observability (internal/obs). observer is nil by default; obsM and
 	// obsT cache its Metrics/Trace sinks so every hot-path probe site is a
@@ -165,6 +184,9 @@ func NewSystem(cfg config.Config, design config.Design) *System {
 			u.cache = traveller.New(&cfg, uint64(cfg.Seed)<<20+uint64(i))
 		}
 		s.units[i] = u
+	}
+	if !cfg.Faults.Empty() {
+		s.armFaults()
 	}
 	return s
 }

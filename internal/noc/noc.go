@@ -98,3 +98,20 @@ func (m *Model) IntraCycles() int64 { return m.intraCycles }
 
 // Topology returns the topology the model was built over.
 func (m *Model) Topology() *topology.Topology { return m.topo }
+
+// XYDir returns the dimension-ordered (X-Y) routing direction of the first
+// mesh hop from stack coordinate (fx, fy) toward (tx, ty): X first while
+// dx != 0, then Y. The encoding matches the port model and fault.Dir*
+// constants: 0 = +X, 1 = -X, 2 = +Y, 3 = -Y.
+func XYDir(fx, fy, tx, ty int) int {
+	switch {
+	case tx < fx:
+		return 1
+	case tx > fx:
+		return 0
+	case ty > fy:
+		return 2
+	default:
+		return 3
+	}
+}

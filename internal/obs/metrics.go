@@ -116,6 +116,14 @@ type Phase struct {
 	DRAMReads, DRAMWrites     int64
 	QueuedDelayCycles         int64 // total DRAM queueing delay
 	Sched                     SchedSums
+
+	// Fault-injection activity during the phase (all zero without faults).
+	FaultDRAMRetries     int64 // ECC retry attempts
+	FaultDRAMUncorrected int64 // accesses past the retry budget
+	FaultReExecuted      int64 // in-flight tasks re-run after a unit death
+	FaultRedistributed   int64 // queued tasks moved off dead units
+	FaultRerouted        int64 // messages detoured around dead links
+	FaultExtraHops       int64 // extra hops paid by those detours
 }
 
 // TravHitRate returns the phase's Traveller probe hit rate, or 0.
@@ -243,6 +251,29 @@ func (m *Metrics) SchedDecision(forwarded bool, memCost, loadTerm float64) {
 	s.LoadTerm += loadTerm
 }
 
+// FaultDRAMRetry records the ECC retry outcome of one faulty DRAM access.
+func (m *Metrics) FaultDRAMRetry(retries int, uncorrected bool) {
+	p := m.cur()
+	p.FaultDRAMRetries += int64(retries)
+	if uncorrected {
+		p.FaultDRAMUncorrected++
+	}
+}
+
+// FaultReExecuted records one task re-executed after a unit death.
+func (m *Metrics) FaultReExecuted() { m.cur().FaultReExecuted++ }
+
+// FaultRedistributed records one queued task moved off a dead unit.
+func (m *Metrics) FaultRedistributed() { m.cur().FaultRedistributed++ }
+
+// FaultRerouted records one message detoured around a dead link and the
+// extra hops the detour cost.
+func (m *Metrics) FaultRerouted(extraHops int) {
+	p := m.cur()
+	p.FaultRerouted++
+	p.FaultExtraHops += int64(extraHops)
+}
+
 // TotalTasks sums completed tasks over all phases.
 func (m *Metrics) TotalTasks() int64 {
 	var t int64
@@ -259,6 +290,8 @@ var csvHeader = []string{
 	"link_msgs_total", "link_msgs_max",
 	"trav_hits", "trav_misses", "trav_hit_rate", "trav_inserts", "trav_bypasses",
 	"sched_decisions", "sched_forwarded", "sched_mem_cost_mean", "sched_load_term_mean",
+	"fault_dram_retries", "fault_dram_uncorrected", "fault_reexecuted",
+	"fault_redistributed", "fault_rerouted", "fault_extra_hops",
 }
 
 // WriteCSV renders one row per phase with the per-phase metric columns —
@@ -304,6 +337,12 @@ func (m *Metrics) WriteCSV(w io.Writer) error {
 			strconv.FormatInt(p.Sched.Forwarded, 10),
 			strconv.FormatFloat(memMean, 'f', 3, 64),
 			strconv.FormatFloat(loadMean, 'f', 3, 64),
+			strconv.FormatInt(p.FaultDRAMRetries, 10),
+			strconv.FormatInt(p.FaultDRAMUncorrected, 10),
+			strconv.FormatInt(p.FaultReExecuted, 10),
+			strconv.FormatInt(p.FaultRedistributed, 10),
+			strconv.FormatInt(p.FaultRerouted, 10),
+			strconv.FormatInt(p.FaultExtraHops, 10),
 		}
 		sb.WriteString(strings.Join(cols, ","))
 		sb.WriteByte('\n')

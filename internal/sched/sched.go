@@ -66,6 +66,15 @@ type Scheduler struct {
 	candBuf [][]topology.UnitID
 	loadBuf []float64
 
+	// dead, when non-nil, marks failed units (aliased from the fault
+	// injector): they are excluded from every candidate set, and a task
+	// whose home died is redirected to the nearest live unit. rates, when
+	// non-nil, holds per-unit observed service rates (1 = nominal); the
+	// hybrid load term divides by them, so a measured straggler looks
+	// proportionally more loaded and sheds work.
+	dead  []bool
+	rates []float64
+
 	// scoreHook, when non-nil, receives the score breakdown of every
 	// placement decision: the memory (remote-access cost) term and the
 	// load term of the unit the task was actually sent to. Nil by default;
@@ -111,6 +120,41 @@ func (s *Scheduler) Exchange(trueW []float64) {
 // instantaneously.
 func (s *Scheduler) SnapshotLoads() []float64 { return s.snapW }
 
+// SetDeadMask installs the fault layer's dead-unit mask (aliased, updated
+// in place as units fail). Nil — the default — means all units are alive.
+func (s *Scheduler) SetDeadMask(dead []bool) { s.dead = dead }
+
+// SetServiceRates installs the per-unit observed service rates used by the
+// hybrid load term (nil disables the correction).
+func (s *Scheduler) SetServiceRates(rates []float64) { s.rates = rates }
+
+// Alive reports whether unit u may receive work.
+func (s *Scheduler) Alive(u topology.UnitID) bool {
+	return s.dead == nil || !s.dead[u]
+}
+
+// NearestLive returns u itself when alive, otherwise the live unit with the
+// lowest interconnect latency from u (ties toward the lowest ID) — where a
+// dead unit's work lands when no policy produces a better choice. Returns
+// -1 when every unit is dead.
+func (s *Scheduler) NearestLive(u topology.UnitID) topology.UnitID {
+	if s.Alive(u) {
+		return u
+	}
+	best := topology.UnitID(-1)
+	var bestLat int64
+	for v := 0; v < s.units; v++ {
+		if s.dead[v] {
+			continue
+		}
+		lat := s.noc.Latency(u, topology.UnitID(v))
+		if best < 0 || lat < bestLat {
+			best, bestLat = topology.UnitID(v), lat
+		}
+	}
+	return best
+}
+
 // SetScoreHook installs (or, with nil, removes) the per-decision score
 // breakdown callback. Observability only: the hook must not influence
 // placement, and installing it never changes which unit Place returns.
@@ -127,6 +171,9 @@ func (s *Scheduler) Place(t *task.Task, origin topology.UnitID) topology.UnitID 
 	switch s.kind {
 	case KindHome:
 		target = s.camps.Home(t.Hint.Lines[0])
+		if s.dead != nil {
+			target = s.NearestLive(target)
+		}
 	case KindLowestDistance:
 		target, memCost = s.placeLowestDistance(t)
 	case KindHybrid:
@@ -147,8 +194,14 @@ func (s *Scheduler) placeLowestDistance(t *task.Task) (topology.UnitID, float64)
 	// units score equally, and a fixed lowest-ID tie-break would pile
 	// every such task onto unit 0.
 	best := s.camps.Home(t.Hint.Lines[0])
+	if s.dead != nil {
+		best = s.NearestLive(best)
+	}
 	bestCost := s.cost.MemCost(s.candBuf, best)
 	for u := 0; u < s.units; u++ {
+		if s.dead != nil && s.dead[u] {
+			continue
+		}
 		if c := s.cost.MemCost(s.candBuf, topology.UnitID(u)); c < bestCost {
 			best, bestCost = topology.UnitID(u), c
 		}
@@ -172,13 +225,24 @@ func (s *Scheduler) placeHybrid(t *task.Task, origin topology.UnitID) (topology.
 	d := s.delta[int(origin)*s.units : (int(origin)+1)*s.units]
 	amp := float64(s.units)
 	var sum float64
+	live := 0
 	for u := 0; u < s.units; u++ {
 		w := s.snapW[u] + d[u]*amp
+		if s.rates != nil && s.rates[u] > 0 {
+			// A unit serving at half its nominal rate is effectively twice
+			// as loaded: dividing by the observed rate makes measured
+			// stragglers shed work without any explicit straggler signal.
+			w /= s.rates[u]
+		}
 		s.loadBuf[u] = w
+		if s.dead != nil && s.dead[u] {
+			continue // dead units contribute nothing to the mean
+		}
 		sum += w
+		live++
 	}
 	const meanFloor = 32 // about two tasks' default workload estimate
-	mean := sum / float64(s.units)
+	mean := sum / float64(live)
 	if mean < meanFloor {
 		mean = meanFloor
 	}
@@ -188,10 +252,16 @@ func (s *Scheduler) placeHybrid(t *task.Task, origin topology.UnitID) (topology.
 	// hook can attribute each decision to its remote-cost vs. load term;
 	// their sum is the same arithmetic as before.
 	best := s.camps.Home(t.Hint.Lines[0])
+	if s.dead != nil {
+		best = s.NearestLive(best)
+	}
 	bestMem := s.cost.MemCost(s.candBuf, best)
 	bestLoad := s.hybridB * (s.loadBuf[best]/mean - 1)
 	bestScore := bestMem + bestLoad
 	for u := 0; u < s.units; u++ {
+		if s.dead != nil && s.dead[u] {
+			continue
+		}
 		mem := s.cost.MemCost(s.candBuf, topology.UnitID(u))
 		load := s.hybridB * (s.loadBuf[u]/mean - 1)
 		if score := mem + load; score < bestScore {

@@ -20,9 +20,10 @@ package sim
 // number), so the pop order — and therefore every simulation result — is
 // identical to the previous container/heap implementation.
 type Engine struct {
-	now int64
-	seq uint64
-	pq  []event
+	now     int64
+	seq     uint64
+	stopped bool
+	pq      []event
 
 	// Probe, when non-nil, is invoked before each executed event with the
 	// event's timestamp and the number of events still pending — the
@@ -133,10 +134,26 @@ func (e *Engine) siftDown(ev event, n int) {
 	pq[i] = ev
 }
 
+// Stop halts the simulation: the current event finishes, every pending
+// event is discarded, and Step/Run return immediately afterwards. The
+// fault layer uses it when a run is declared unrecoverable — ending the
+// simulation at the verdict instead of draining (and guarding) an
+// arbitrarily deep queue of now-meaningless events.
+func (e *Engine) Stop() {
+	e.stopped = true
+	for i := range e.pq {
+		e.pq[i] = event{} // release fns for GC
+	}
+	e.pq = e.pq[:0]
+}
+
+// Stopped reports whether Stop was called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
 // Step executes the earliest pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.pq) == 0 {
+	if e.stopped || len(e.pq) == 0 {
 		return false
 	}
 	ev := e.popMin()

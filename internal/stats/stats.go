@@ -34,12 +34,31 @@ type Unit struct {
 	Energy energy.Breakdown
 }
 
+// FaultCounters summarizes the fault-injection activity of one run. All
+// counters stay zero on a fault-free run.
+type FaultCounters struct {
+	DRAMRetries        int64 // ECC retry attempts across all DRAM accesses
+	DRAMUncorrected    int64 // accesses that exhausted the retry budget
+	TasksReExecuted    int64 // in-flight tasks re-run after a unit death
+	TasksRedistributed int64 // queued tasks moved off a dead unit
+	ReroutedMsgs       int64 // mesh messages detoured around dead links
+	ReroutedExtraHops  int64 // extra hops paid by those detours
+	DeadUnits          int64 // units failed during the run
+	DeadLinks          int64 // directional mesh links failed during the run
+}
+
+// Any reports whether any fault activity was recorded.
+func (f *FaultCounters) Any() bool { return *f != FaultCounters{} }
+
 // System aggregates the whole run.
 type System struct {
 	Units    []Unit
 	Makespan int64 // total execution cycles
 	Tasks    int64 // total tasks executed
 	Steps    int64 // timestamps (bulk-synchronous phases) executed
+
+	// Faults summarizes fault-injection activity (all zero without faults).
+	Faults FaultCounters
 
 	// Timeline is the sampled busy-core count over time (one entry per
 	// sample interval), populated when utilization sampling is enabled.

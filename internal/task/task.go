@@ -55,6 +55,21 @@ type Task struct {
 	Prefetched    bool
 	// Stolen marks tasks moved by work stealing.
 	Stolen bool
+
+	// Retries counts how often the task has been re-executed after a unit
+	// failure; bounded by the fault plan's task-retry budget.
+	Retries int
+	// Replay carries the recorded effects of an execution that was lost to
+	// a unit failure. Application Execute calls are not idempotent (they
+	// enqueue children), so a re-executed task replays the recorded instrs
+	// and children instead of calling Execute again.
+	Replay *Replay
+}
+
+// Replay is the recorded outcome of one (lost) task execution.
+type Replay struct {
+	Instrs   int64
+	Children []*Task
 }
 
 // Pool recycles Task objects and their hint-line slices. The NDP runtime

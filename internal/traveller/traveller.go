@@ -27,6 +27,7 @@ type Cache struct {
 
 	bypassProb float64
 	useLRU     bool
+	disabled   bool   // set when the owning unit dies; probes miss, inserts no-op
 	rng        uint64 // splitmix64 state for replacement + bypass decisions
 
 	hits, misses, inserts, bypasses int64
@@ -80,6 +81,10 @@ func (c *Cache) next() uint64 {
 // Probe checks the SRAM tags for line l, recording a hit or miss. Under
 // LRU replacement a hit refreshes the line's recency.
 func (c *Cache) Probe(l mem.Line) bool {
+	if c.disabled {
+		c.misses++
+		return false
+	}
 	base := int(uint64(l)&c.setMask) * c.ways
 	for w := 0; w < c.ways; w++ {
 		if c.valid[base+w] && c.lines[base+w] == l {
@@ -123,6 +128,9 @@ func (c *Cache) Contains(l mem.Line) bool {
 // It reports whether the line was actually inserted. Victim selection is
 // random; invalid ways are filled first.
 func (c *Cache) Insert(l mem.Line) bool {
+	if c.disabled {
+		return false
+	}
 	if c.Contains(l) {
 		return false
 	}
@@ -171,6 +179,18 @@ func (c *Cache) InvalidateAll() {
 		c.valid[i] = false
 	}
 }
+
+// Disable invalidates the cache and makes it permanently inert: every
+// later Probe misses and Insert refuses, without touching the RNG stream.
+// The fault layer calls this when the owning unit dies — its camp slice is
+// gone, but remote units may still probe it before learning that.
+func (c *Cache) Disable() {
+	c.disabled = true
+	c.InvalidateAll()
+}
+
+// Disabled reports whether Disable was called.
+func (c *Cache) Disabled() bool { return c.disabled }
 
 // Occupancy returns the number of valid lines (for tests and debugging).
 func (c *Cache) Occupancy() int {
