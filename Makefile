@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments figures clean
+.PHONY: all build test vet audit bench experiments figures clean
 
 all: vet test build
 
@@ -14,6 +14,13 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Audit the simulator: the invariant/metamorphic test suites, then a quick
+# design sweep (every workload under every Table 2 design) with the runtime
+# checker armed and dual-run determinism hashes compared on every cell.
+audit:
+	$(GO) test -run 'TestChecker|TestAudit|TestCheckMode|TestResultHash|TestEmptyFaultLayer' ./...
+	$(GO) run ./cmd/abndpbench -quick -exp fig6 -check >/dev/null
 
 # Micro-benchmarks + per-figure harness smoke benchmarks, then a quick
 # harness run that records its wall-clock breakdown in BENCH_<stamp>.json

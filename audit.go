@@ -1,0 +1,192 @@
+package abndp
+
+import (
+	"fmt"
+	"math"
+
+	"abndp/internal/apps"
+	"abndp/internal/check"
+	"abndp/internal/ndp"
+	"abndp/internal/stats"
+)
+
+// Checker is the runtime invariant checker of internal/check. Install one
+// on a System (System.SetChecker) to audit a run; AuditRun does this and
+// more for the built-in workloads.
+type Checker = check.Checker
+
+// AuditReport is the structured outcome of an audited run: invariant
+// evaluation counts, recorded violations, and the dual-run hashes.
+type AuditReport = check.Report
+
+// AuditViolation records one invariant breach.
+type AuditViolation = check.Violation
+
+// NewChecker returns an empty, non-fail-fast Checker.
+func NewChecker() *Checker { return check.New() }
+
+// ResultHash folds every deterministic field of a Result into one FNV-1a
+// fingerprint — the basis of the dual-run determinism and fault-layer
+// identity relations below.
+func ResultHash(r *Result) uint64 { return ndp.ResultHash(r) }
+
+// RunAppChecked simulates app under design d with the invariant checker
+// armed and returns the result alongside the audit report. With failFast,
+// the run stops at the first violation (the partial result is nil); the
+// violation is still in the report. The checker is read-only: a checked
+// run's result is byte-identical to an unchecked one.
+func RunAppChecked(app App, d Design, cfg Config, failFast bool) (res *Result, rep *AuditReport, err error) {
+	if d == DesignH {
+		return nil, nil, fmt.Errorf("abndp: design H is the host baseline; use RunHost")
+	}
+	applied := d.Apply(cfg)
+	if err := applied.Validate(); err != nil {
+		return nil, nil, err
+	}
+	sys := ndp.NewSystem(cfg, d)
+	c := check.New()
+	c.FailFast = failFast
+	sys.SetChecker(c)
+	defer func() {
+		if v := check.Recover(recover()); v != nil {
+			res, rep, err = nil, c.Report(), nil
+		}
+	}()
+	res = sys.Run(app)
+	return res, c.Report(), nil
+}
+
+// AuditRun runs the full audit battery for a built-in workload under one
+// design:
+//
+//  1. an audited run evaluating every runtime invariant (engine time
+//     monotonicity, DRAM backlog accounting, Traveller LRU permutations,
+//     scheduler placement verdicts, end-of-run conservation);
+//  2. dual-run determinism — an unaudited rerun must produce an identical
+//     ResultHash, which simultaneously proves the checker perturbed nothing
+//     (rule meta.determinism);
+//  3. fault-layer identity — when cfg.Faults is empty, a rerun with the
+//     fault layer force-armed on that empty plan must also hash identically:
+//     every fault probe site degrades to a no-op (rule meta.faultidentity);
+//  4. unit-ID permutation invariance — aggregate statistics recomputed over
+//     permuted copies of the per-unit table must not change (exact for
+//     integer counters, 1e-9 relative for float sums; rule
+//     meta.permutation).
+//
+// With failFast the audited run stops at the first violation and the
+// battery is cut short (the report carries what was found). The returned
+// error covers setup problems only (unknown workload, invalid config);
+// invariant breaches land in the report, whose Ok method gives the verdict.
+func AuditRun(workload string, d Design, cfg Config, p Params, failFast bool) (*Result, *AuditReport, error) {
+	mkApp := func() (App, error) { return apps.New(workload, p) }
+	app, err := mkApp()
+	if err != nil {
+		return nil, nil, err
+	}
+	res, rep, err := RunAppChecked(app, d, cfg, failFast)
+	if err != nil {
+		return nil, nil, err
+	}
+	if res == nil {
+		return nil, rep, nil // fail-fast stop: skip the metamorphic battery
+	}
+
+	// Relation 2: dual-run determinism against an unaudited rerun.
+	rep.Checks++
+	appB, err := mkApp()
+	if err != nil {
+		return res, rep, err
+	}
+	resB, err := RunApp(appB, d, cfg)
+	if err != nil {
+		return res, rep, err
+	}
+	rep.HashA, rep.HashB = ResultHash(res), ResultHash(resB)
+	if rep.HashA != rep.HashB {
+		rep.Append("meta.determinism",
+			"audited run hash %016x != unaudited rerun hash %016x", rep.HashA, rep.HashB)
+	}
+
+	// Relation 3: an armed-but-empty fault layer is the identity.
+	if cfg.Faults.Empty() {
+		rep.Checks++
+		appC, err := mkApp()
+		if err != nil {
+			return res, rep, err
+		}
+		sysC, err := NewSystem(cfg, d)
+		if err != nil {
+			return res, rep, err
+		}
+		sysC.ArmFaultLayerForAudit()
+		if h := ResultHash(sysC.Run(appC)); h != rep.HashA {
+			rep.Append("meta.faultidentity",
+				"armed-but-empty fault layer changed the result: %016x != %016x", h, rep.HashA)
+		}
+	}
+
+	auditPermutation(res, rep)
+	return res, rep, nil
+}
+
+// auditPermutation verifies relation 4: every aggregate derived from the
+// per-unit statistics table is invariant under permuting the unit IDs.
+func auditPermutation(res *Result, rep *AuditReport) {
+	st := res.Stats
+	n := len(st.Units)
+	if n < 2 {
+		return
+	}
+	baseHops := st.TotalInterHops()
+	baseEnergy := st.TotalEnergy().Total()
+	baseHit := st.CacheHitRate()
+	baseImb := st.ImbalanceRatio()
+	var baseTasks int64
+	for i := range st.Units {
+		baseTasks += st.Units[i].TasksRun
+	}
+
+	perm := func(name string, at func(i int) int) {
+		rep.Checks++
+		var p stats.System
+		p.Units = make([]stats.Unit, n)
+		for i := range p.Units {
+			p.Units[i] = st.Units[at(i)]
+		}
+		if got := p.TotalInterHops(); got != baseHops {
+			rep.Append("meta.permutation", "%s: inter-stack hops %d != %d", name, got, baseHops)
+		}
+		var tasks int64
+		for i := range p.Units {
+			tasks += p.Units[i].TasksRun
+		}
+		if tasks != baseTasks {
+			rep.Append("meta.permutation", "%s: task total %d != %d", name, tasks, baseTasks)
+		}
+		// Float aggregates re-sum in a different order: exact to ~1e-9.
+		if got := p.TotalEnergy().Total(); !relEq(got, baseEnergy, 1e-9) {
+			rep.Append("meta.permutation", "%s: energy %v != %v", name, got, baseEnergy)
+		}
+		if got := p.CacheHitRate(); !relEq(got, baseHit, 1e-9) {
+			rep.Append("meta.permutation", "%s: cache hit rate %v != %v", name, got, baseHit)
+		}
+		if got := p.ImbalanceRatio(); !relEq(got, baseImb, 1e-9) {
+			rep.Append("meta.permutation", "%s: imbalance ratio %v != %v", name, got, baseImb)
+		}
+	}
+	perm("reversal", func(i int) int { return n - 1 - i })
+	perm("rotation", func(i int) int { return (i + 1) % n })
+	perm("half-rotation", func(i int) int { return (i + n/2) % n })
+}
+
+// relEq reports |a-b| <= tol * max(|a|, |b|, 1).
+func relEq(a, b, tol float64) bool {
+	scale := math.Abs(a)
+	if s := math.Abs(b); s > scale {
+		scale = s
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) <= tol*scale
+}

@@ -1,0 +1,94 @@
+package abndp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAuditRunPassesCleanWorkloads(t *testing.T) {
+	cfg := smallConfig()
+	for _, w := range []string{"pr", "bfs"} {
+		for _, d := range []Design{DesignB, DesignSl, DesignO} {
+			res, rep, err := AuditRun(w, d, cfg, smallParams(), false)
+			if err != nil {
+				t.Fatalf("AuditRun(%q, %v): %v", w, d, err)
+			}
+			if !rep.Ok() {
+				t.Fatalf("AuditRun(%q, %v) failed:\n%s", w, d, rep.String())
+			}
+			if rep.Checks == 0 {
+				t.Fatalf("AuditRun(%q, %v): zero invariant evaluations", w, d)
+			}
+			if rep.HashA == 0 || rep.HashA != rep.HashB {
+				t.Fatalf("AuditRun(%q, %v): dual-run hashes %016x/%016x", w, d, rep.HashA, rep.HashB)
+			}
+			if res == nil || res.Tasks == 0 {
+				t.Fatalf("AuditRun(%q, %v): empty result", w, d)
+			}
+		}
+	}
+}
+
+func TestAuditRunPassesUnderFaults(t *testing.T) {
+	cfg := smallConfig()
+	p, err := ParseFaults("kill:3@2000;dram:0.0002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = p
+	_, rep, err := AuditRun("pr", DesignO, cfg, smallParams(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("faulty-run audit failed:\n%s", rep.String())
+	}
+}
+
+func TestAuditRunRejectsBadInput(t *testing.T) {
+	if _, _, err := AuditRun("nope", DesignO, smallConfig(), smallParams(), false); err == nil {
+		t.Fatal("AuditRun must reject unknown workloads")
+	}
+	if _, _, err := AuditRun("pr", DesignH, smallConfig(), smallParams(), false); err == nil {
+		t.Fatal("AuditRun must reject the host design")
+	}
+	cfg := smallConfig()
+	cfg.CacheWays = 1000
+	if _, _, err := AuditRun("pr", DesignO, cfg, smallParams(), false); err == nil {
+		t.Fatal("AuditRun must reject invalid configs")
+	}
+}
+
+func TestAuditReportString(t *testing.T) {
+	_, rep, err := AuditRun("bfs", DesignO, smallConfig(), smallParams(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "audit PASSED") || !strings.Contains(s, "determinism hash") {
+		t.Fatalf("unexpected report rendering: %q", s)
+	}
+}
+
+func TestRunAppCheckedMatchesPlainRun(t *testing.T) {
+	cfg := smallConfig()
+	app1, err := NewApp("pr", smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := RunApp(app1, DesignO, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app2, _ := NewApp("pr", smallParams())
+	checked, rep, err := RunAppChecked(app2, DesignO, cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("checked run failed audit:\n%s", rep.String())
+	}
+	if ResultHash(plain) != ResultHash(checked) {
+		t.Fatal("checked run diverged from plain run")
+	}
+}

@@ -9,6 +9,7 @@
 //	abndpbench -j 8            # simulate on 8 worker goroutines
 //	abndpbench -serial         # one run at a time (same output, slower)
 //	abndpbench -benchjson f    # write harness wall-clock metrics to f
+//	abndpbench -check          # audit every run (invariants + dual-run hash)
 //
 // Simulation runs are planned up front and executed on a worker pool
 // (GOMAXPROCS-wide by default); each run stays single-goroutine, so the
@@ -41,6 +42,7 @@ func main() {
 		cpup   = flag.String("cpuprofile", "", "write a CPU profile of the harness to this file")
 		memp   = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 		rdl    = flag.Duration("rundeadline", 0, "per-run wall-clock deadline; a run past it is recorded as hung and skipped (0 = the 10m default, negative disables)")
+		chk    = flag.Bool("check", false, "audit every run: invariant checker armed plus a dual-run determinism hash (roughly doubles simulation time; violations print and exit non-zero)")
 	)
 	flag.Parse()
 
@@ -79,6 +81,7 @@ func main() {
 	if *rdl != 0 {
 		r.SetRunDeadline(*rdl)
 	}
+	r.SetCheck(*chk)
 
 	start := time.Now()
 	if *exps == "all" {
@@ -120,6 +123,8 @@ func main() {
 	}
 	fmt.Printf("\ncompleted in %.1fs\n", time.Since(start).Seconds())
 
+	exit := 0
+
 	// Crash-isolated runs that panicked or hung: the sweep above still
 	// rendered (their rows hold placeholders), but the harness exits
 	// non-zero so CI and scripts notice.
@@ -132,6 +137,25 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "  [%s] %s: %s\n", kind, f.Key, f.Err)
 		}
-		os.Exit(1)
+		exit = 1
+	}
+
+	// Invariant-audit verdict (-check): the violations are also in the
+	// metrics JSON when -benchjson was given.
+	if *chk {
+		runs, evals := r.CheckCounts()
+		if vs := r.CheckViolations(); len(vs) > 0 {
+			fmt.Fprintf(os.Stderr, "\nabndpbench: audit FAILED: %d violation(s) over %d runs (%d invariant evaluations):\n",
+				len(vs), runs, evals)
+			for _, v := range vs {
+				fmt.Fprintf(os.Stderr, "  %s: %s\n", v.Key, v.Violation)
+			}
+			exit = 1
+		} else {
+			fmt.Printf("audit PASSED: %d runs, %d invariant evaluations, 0 violations\n", runs, evals)
+		}
+	}
+	if exit != 0 {
+		os.Exit(exit) // note: skips the profile-writer defers, like any failed run
 	}
 }

@@ -44,6 +44,7 @@ func main() {
 		probeAll = flag.Bool("probe-all", false, "probe every camp on a miss instead of nearest only")
 		torus    = flag.Bool("torus", false, "use a torus instead of a mesh inter-stack network")
 		perfect  = flag.Bool("perfect-hints", false, "supply exact workload hints to the scheduler")
+		checkRun = flag.Bool("check", false, "audit the run: runtime invariants fail fast, then the metamorphic battery (exit 1 on violations)")
 		faults   = flag.String("faults", "", "fault-injection spec, e.g. 'dram:0.001;slow:9:4;kill:70@25000;link:5:e@12000' (see docs/FAULTS.md)")
 		fseed    = flag.Int64("fault-seed", 0, "decorrelate the DRAM-error stream (overrides a seed: clause in -faults)")
 		trace    = flag.String("trace", "", "write a JSONL per-task completion trace to this file")
@@ -118,6 +119,26 @@ func main() {
 		}
 		fmt.Printf("app=%s design=H time=%.3f ms memory_bound=%v traffic=%.2f GB\n",
 			*appName, r.Seconds*1e3, r.MemoryBound, r.TrafficGB)
+		return
+	}
+
+	if *checkRun {
+		// The audit battery reruns the workload to compare result hashes;
+		// observability outputs of a multiplexed run would be misleading.
+		if *perfetto != "" || *metricsF != "" || *trace != "" {
+			fatal(fmt.Errorf("-check cannot be combined with -perfetto, -metrics, or -trace"))
+		}
+		res, rep, err := abndp.AuditRun(*appName, d, cfg, p, true)
+		if err != nil {
+			fatal(err)
+		}
+		if res != nil {
+			printSummary(res, cfg)
+		}
+		fmt.Println(rep.String())
+		if !rep.Ok() {
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -215,6 +236,12 @@ func main() {
 		}
 		f.Close()
 	}
+	printSummary(res, cfg)
+}
+
+// printSummary renders the end-of-run performance, traffic, and energy
+// report shared by plain and -check runs.
+func printSummary(res *abndp.Result, cfg abndp.Config) {
 	fmt.Printf("app=%s design=%s\n", res.App, res.Design)
 	if res.Unrecoverable != "" {
 		fmt.Printf("  UNRECOVERABLE %s (at cycle %d)\n", res.Unrecoverable, res.Makespan)

@@ -52,6 +52,14 @@ type Runner struct {
 	deadlineSet bool
 	simHook     func(runSpec) // test hook, called before each guarded run
 
+	// Invariant audit (check.go): with checkRuns set, every timing
+	// simulation runs audited plus a plain rerun whose hash must match.
+	checkRuns       bool
+	checkMu         sync.Mutex
+	checkViolations []CheckViolation
+	checkedRuns     int64 // atomic
+	checkEvals      int64 // atomic
+
 	// Planning state: while planning, run/functional record the requested
 	// run specs instead of simulating, and return placeholders.
 	planning bool

@@ -120,6 +120,9 @@ func (r *Runner) safeSimulate(k string, spec runSpec) *ndp.Result {
 			if r.simHook != nil {
 				r.simHook(spec)
 			}
+			if r.checkRuns {
+				return r.checkedSimulate(k, spec)
+			}
 			return simulate(spec)
 		})
 }

@@ -27,6 +27,14 @@ type Metrics struct {
 	// list means the corresponding table rows hold placeholder values.
 	Failures []RunFailure `json:"failures,omitempty"`
 
+	// Invariant-audit outcome, populated in check mode (Runner.SetCheck):
+	// how many runs were audited, how many invariant evaluations they
+	// performed, and every recorded breach. A non-empty CheckViolations
+	// means the sweep's numbers are suspect.
+	CheckedRuns     int64            `json:"checked_runs,omitempty"`
+	CheckEvals      int64            `json:"check_evals,omitempty"`
+	CheckViolations []CheckViolation `json:"check_violations,omitempty"`
+
 	// Process-wide resource footprint, snapshotted when the metrics are
 	// collected: OS peak resident set (0 on platforms without getrusage)
 	// and the Go runtime's cumulative allocation counters.
@@ -68,6 +76,8 @@ func (r *Runner) Metrics() Metrics {
 	m.Date = time.Now().Format("2006-01-02T15:04:05Z07:00")
 	m.PeakRSSBytes = peakRSSBytes()
 	m.Failures = r.Failures()
+	m.CheckedRuns, m.CheckEvals = r.CheckCounts()
+	m.CheckViolations = r.CheckViolations()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	m.TotalAllocBytes, m.Mallocs, m.NumGC = ms.TotalAlloc, ms.Mallocs, ms.NumGC

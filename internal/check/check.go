@@ -1,0 +1,191 @@
+// Package check is the simulator's runtime invariant-audit subsystem: a
+// violation recorder threaded through the engine, scheduler, DRAM channels,
+// NoC ports, Traveller caches, and fault layer, following the same
+// zero-cost-when-off probe pattern as internal/obs.
+//
+// Design rule: auditing is zero-cost when off. Every audited component
+// holds a single *Checker pointer that is nil by default; each probe site
+// guards with one nil check and performs no allocation, no map lookup, and
+// no interface call on the disabled path, so the PR-1 hot-path guarantees
+// (0 amortized allocs per engine event) hold with the audit layer compiled
+// in (TestEngineAuditOffAllocs pins this).
+//
+// With a Checker installed, each subsystem evaluates its local invariants
+// on every operation (event-time monotonicity, DRAM backlog accounting,
+// LRU-rank permutations, finite scheduler scores, ...) and records breaches
+// as structured Violations. The checker itself never mutates simulator
+// state: a checked run is byte-identical to an unchecked one
+// (TestCheckerDoesNotPerturbResults).
+//
+// DAMOV (Oliveira et al.) argues that data-movement conclusions are only as
+// trustworthy as the methodology validating the simulator that produced
+// them; this package is that validation for the ABNDP reproduction. See
+// docs/INVARIANTS.md for the full rule catalogue and the paper-section
+// rationale of each invariant.
+package check
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Violation records one invariant breach: the rule that failed, the
+// simulation cycle at which it was observed, and a human-readable detail.
+type Violation struct {
+	Rule   string `json:"rule"`
+	Cycle  int64  `json:"cycle"`
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] cycle %d: %s", v.Rule, v.Cycle, v.Detail)
+}
+
+// DefaultLimit bounds how many violations a Checker records. A genuinely
+// broken invariant usually fires on every subsequent operation; keeping the
+// first few is enough to debug, and an unbounded slice would turn a broken
+// run into an OOM.
+const DefaultLimit = 64
+
+// Checker accumulates invariant evaluations and violations for one run. It
+// is single-goroutine, owned by the simulation it audits, like every other
+// piece of per-run state. The zero value is ready to use.
+type Checker struct {
+	// FailFast makes the first violation abort the run: Violationf panics
+	// with a failFastPanic after recording, which RunChecked-style wrappers
+	// recover into an error carrying the partial report. Off by default
+	// (record everything up to Limit, report at the end).
+	FailFast bool
+
+	// Limit caps recorded violations; 0 means DefaultLimit. Violations past
+	// the cap are counted (Dropped) but not stored.
+	Limit int
+
+	checks     int64
+	dropped    int64
+	violations []Violation
+}
+
+// New returns an empty, non-fail-fast Checker.
+func New() *Checker { return &Checker{} }
+
+// Tick counts one invariant evaluation. Probe sites call it once per
+// audited operation so a clean report can prove the audit actually ran
+// (Checks > 0), not merely that nothing was wired up.
+func (c *Checker) Tick() { c.checks++ }
+
+// Checks returns the number of invariant evaluations performed.
+func (c *Checker) Checks() int64 { return c.checks }
+
+// Violationf records one breach of rule at the given cycle. Under FailFast
+// it then panics with a sentinel that Recover converts back into the
+// violation; any other panic value is untouched.
+func (c *Checker) Violationf(rule string, cycle int64, format string, args ...any) {
+	limit := c.Limit
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	var v Violation
+	if len(c.violations) < limit {
+		v = Violation{Rule: rule, Cycle: cycle, Detail: fmt.Sprintf(format, args...)}
+		c.violations = append(c.violations, v)
+	} else {
+		c.dropped++
+		v = Violation{Rule: rule, Cycle: cycle, Detail: "(dropped past limit)"}
+	}
+	if c.FailFast {
+		panic(failFastPanic{v})
+	}
+}
+
+// failFastPanic is the panic payload of a fail-fast checker; Recover
+// translates it, and only it, into a normal error return.
+type failFastPanic struct{ v Violation }
+
+// Recover converts a fail-fast panic back into its Violation. Call it from
+// a deferred function around the audited run:
+//
+//	defer func() { stopped = check.Recover(recover()) != nil }()
+//
+// It returns nil (and re-panics) for any panic value that did not originate
+// from a fail-fast Checker, and nil for a nil recover() result.
+func Recover(p any) *Violation {
+	if p == nil {
+		return nil
+	}
+	if ff, ok := p.(failFastPanic); ok {
+		v := ff.v
+		return &v
+	}
+	panic(p)
+}
+
+// Violations returns the recorded violations (a copy; safe to keep).
+func (c *Checker) Violations() []Violation {
+	return append([]Violation(nil), c.violations...)
+}
+
+// Ok reports whether no violation has been recorded.
+func (c *Checker) Ok() bool { return len(c.violations) == 0 && c.dropped == 0 }
+
+// Report snapshots the checker into a standalone report.
+func (c *Checker) Report() *Report {
+	return &Report{
+		Checks:     c.checks,
+		Dropped:    c.dropped,
+		Violations: c.Violations(),
+	}
+}
+
+// Report is the structured outcome of one audited run: how many invariant
+// evaluations ran, every recorded violation (runtime invariants and the
+// metamorphic relations appended by higher layers), and the dual-run
+// determinism hashes when that relation was exercised.
+type Report struct {
+	Checks     int64       `json:"checks"`
+	Dropped    int64       `json:"dropped,omitempty"`
+	Violations []Violation `json:"violations,omitempty"`
+
+	// HashA/HashB are the dual-run determinism hashes (0 when the relation
+	// was not exercised). A mismatch is also recorded as a violation with
+	// rule "meta.determinism".
+	HashA uint64 `json:"hash_a,omitempty"`
+	HashB uint64 `json:"hash_b,omitempty"`
+}
+
+// Ok reports whether the audit passed: at least one invariant evaluated and
+// no violations recorded.
+func (r *Report) Ok() bool {
+	return r.Checks > 0 && len(r.Violations) == 0 && r.Dropped == 0
+}
+
+// Append adds a violation found by a higher layer (the metamorphic harness)
+// to the report.
+func (r *Report) Append(rule string, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{Rule: rule, Detail: fmt.Sprintf(format, args...)})
+}
+
+// String renders the report as the structured text block printed by
+// `abndpsim -check`.
+func (r *Report) String() string {
+	var b strings.Builder
+	if r.Ok() {
+		fmt.Fprintf(&b, "audit PASSED: %d invariant evaluations, 0 violations", r.Checks)
+		if r.HashA != 0 || r.HashB != 0 {
+			fmt.Fprintf(&b, ", determinism hash %016x", r.HashA)
+		}
+		return b.String()
+	}
+	total := int64(len(r.Violations)) + r.Dropped
+	fmt.Fprintf(&b, "audit FAILED: %d violation(s) over %d invariant evaluations\n", total, r.Checks)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	if r.Dropped > 0 {
+		fmt.Fprintf(&b, "  ... and %d more (past the %d-violation limit)\n", r.Dropped, DefaultLimit)
+	}
+	if r.HashA != r.HashB {
+		fmt.Fprintf(&b, "  dual-run hashes: %016x vs %016x\n", r.HashA, r.HashB)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,111 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckerRecordsViolations(t *testing.T) {
+	c := New()
+	if !c.Ok() {
+		t.Fatal("fresh checker not Ok")
+	}
+	c.Tick()
+	c.Tick()
+	c.Violationf("dram.backlog", 42, "backlog = %d", -3)
+	if c.Ok() {
+		t.Fatal("checker Ok after a violation")
+	}
+	r := c.Report()
+	if r.Checks != 2 {
+		t.Fatalf("Checks = %d, want 2", r.Checks)
+	}
+	if len(r.Violations) != 1 {
+		t.Fatalf("Violations = %v", r.Violations)
+	}
+	v := r.Violations[0]
+	if v.Rule != "dram.backlog" || v.Cycle != 42 || v.Detail != "backlog = -3" {
+		t.Fatalf("violation = %+v", v)
+	}
+	if r.Ok() {
+		t.Fatal("report Ok with a violation")
+	}
+}
+
+func TestReportOkRequiresChecks(t *testing.T) {
+	// A report with zero evaluations must not read as a pass: it means the
+	// audit was never wired up.
+	if (&Report{}).Ok() {
+		t.Fatal("empty report (0 checks) reads as Ok")
+	}
+	if !(&Report{Checks: 1}).Ok() {
+		t.Fatal("clean report with checks not Ok")
+	}
+}
+
+func TestCheckerLimit(t *testing.T) {
+	c := &Checker{Limit: 2}
+	for i := 0; i < 5; i++ {
+		c.Violationf("r", int64(i), "v%d", i)
+	}
+	r := c.Report()
+	if len(r.Violations) != 2 || r.Dropped != 3 {
+		t.Fatalf("recorded %d dropped %d, want 2/3", len(r.Violations), r.Dropped)
+	}
+	if r.Ok() {
+		t.Fatal("report with dropped violations reads as Ok")
+	}
+	if !strings.Contains(r.String(), "5 violation(s)") {
+		t.Fatalf("String() does not count dropped violations: %q", r.String())
+	}
+}
+
+func TestFailFastRecover(t *testing.T) {
+	c := &Checker{FailFast: true}
+	var got *Violation
+	func() {
+		defer func() { got = Recover(recover()) }()
+		c.Violationf("sched.score", 7, "score is NaN")
+		t.Fatal("Violationf under FailFast returned")
+	}()
+	if got == nil || got.Rule != "sched.score" || got.Cycle != 7 {
+		t.Fatalf("recovered %+v", got)
+	}
+	if c.Ok() {
+		t.Fatal("fail-fast violation not recorded")
+	}
+}
+
+func TestRecoverPassesForeignPanics(t *testing.T) {
+	defer func() {
+		if p := recover(); p != "boom" {
+			t.Fatalf("foreign panic not re-raised: %v", p)
+		}
+	}()
+	func() {
+		defer func() { Recover(recover()) }()
+		panic("boom")
+	}()
+}
+
+func TestRecoverNil(t *testing.T) {
+	if Recover(nil) != nil {
+		t.Fatal("Recover(nil) != nil")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{Checks: 10}
+	if !strings.Contains(r.String(), "PASSED") {
+		t.Fatalf("clean report: %q", r.String())
+	}
+	r.Append("meta.determinism", "hash %x != %x", 1, 2)
+	s := r.String()
+	if !strings.Contains(s, "FAILED") || !strings.Contains(s, "meta.determinism") {
+		t.Fatalf("failed report: %q", s)
+	}
+	r2 := &Report{Checks: 3, HashA: 0xabc, HashB: 0xabc}
+	if !strings.Contains(r2.String(), "0000000000000abc") {
+		t.Fatalf("hash not rendered: %q", r2.String())
+	}
+}

@@ -143,6 +143,12 @@ type Config struct {
 	Faults fault.Plan
 }
 
+// MaxCacheWays bounds Config.CacheWays. The Traveller Cache stores per-way
+// LRU recency ranks as int8, so an associativity past 127 would silently
+// corrupt replacement order; Validate rejects it instead. (Realistic
+// configurations use 2-16 ways.)
+const MaxCacheWays = 127
+
 // Default returns the Table 1 configuration.
 func Default() Config {
 	return Config{
@@ -236,7 +242,11 @@ func (c *Config) Validate() error {
 	case c.CacheEnabled && c.CacheRatio <= 1:
 		return fmt.Errorf("config: CacheRatio = %d must be > 1", c.CacheRatio)
 	case c.CacheEnabled && c.CacheWays <= 0:
-		return fmt.Errorf("config: CacheWays = %d", c.CacheWays)
+		// Zero would divide-by-zero in traveller.New's set sizing.
+		return fmt.Errorf("config: CacheWays = %d must be > 0", c.CacheWays)
+	case c.CacheEnabled && c.CacheWays > MaxCacheWays:
+		return fmt.Errorf("config: CacheWays = %d exceeds MaxCacheWays = %d (int8 LRU ranks)",
+			c.CacheWays, MaxCacheWays)
 	case c.CampCount < 1:
 		return fmt.Errorf("config: CampCount = %d must be >= 1", c.CampCount)
 	case c.BypassProb < 0 || c.BypassProb >= 1 || math.IsNaN(c.BypassProb):

@@ -205,3 +205,33 @@ func TestValidateWindowPeriod(t *testing.T) {
 		t.Fatal("window without a period must be rejected")
 	}
 }
+
+// Regression: CacheWays had no upper bound, so a value past 127 silently
+// overflowed the Traveller Cache's int8 LRU recency ranks; CacheWays = 0
+// reached a divide-by-zero in traveller.New. Both edges are now rejected.
+func TestValidateCacheWaysBounds(t *testing.T) {
+	mk := func(ways int) Config {
+		c := Default()
+		c.CacheEnabled = true
+		c.CacheWays = ways
+		return c
+	}
+	for _, ways := range []int{0, -1, MaxCacheWays + 1, 1000} {
+		c := mk(ways)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("CacheWays = %d accepted", ways)
+		}
+	}
+	for _, ways := range []int{1, 4, MaxCacheWays} {
+		c := mk(ways)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("CacheWays = %d rejected: %v", ways, err)
+		}
+	}
+	// Without the cache the associativity is unused and stays unchecked.
+	c := mk(0)
+	c.CacheEnabled = false
+	if err := c.Validate(); err != nil {
+		t.Fatalf("disabled cache should not validate CacheWays: %v", err)
+	}
+}

@@ -13,6 +13,7 @@
 package dram
 
 import (
+	"abndp/internal/check"
 	"abndp/internal/config"
 	"abndp/internal/mem"
 )
@@ -48,6 +49,12 @@ type Channel struct {
 	actPrePJ float64 // activation + precharge energy per row miss
 
 	rowHits, rowMisses int64
+
+	// Audit, when non-nil, verifies the channel's accounting invariants on
+	// every access (backlog never negative, queueing delay never negative,
+	// occupancy positive, the addressed row open afterwards) and flags
+	// out-of-domain AccessScaled factors. One nil check per access when off.
+	Audit *check.Checker
 }
 
 // NewChannel builds a channel from the system configuration.
@@ -89,10 +96,19 @@ func (c *Channel) Access(now int64, l mem.Line) (latency, queued int64, energyPJ
 // AccessScaled is Access with the channel occupancy multiplied by scale —
 // the fault layer's straggler model, where a degraded channel moves the
 // same line in more cycles (less effective bandwidth). scale 1 is Access.
+//
+// The scale domain is [1, +inf): a straggler factor can only slow the
+// channel down. Values below 1 (including NaN) are clamped to 1 — they
+// previously fell through the `scale > 1` test silently; now the clamp is
+// explicit and, under an installed Audit, recorded as a domain violation
+// so a buggy caller cannot hide behind the clamp.
 func (c *Channel) AccessScaled(now int64, l mem.Line, scale float64) (latency, queued int64, energyPJ float64) {
 	occ := c.occupancy
 	if scale > 1 {
 		occ = int64(float64(occ)*scale + 0.5)
+	} else if scale != 1 && c.Audit != nil {
+		c.Audit.Violationf("dram.scale", now,
+			"AccessScaled scale = %v outside [1, +inf)", scale)
 	}
 	return c.access(now, l, occ)
 }
@@ -123,7 +139,28 @@ func (c *Channel) access(now int64, l mem.Line, occ int64) (latency, queued int6
 	}
 
 	c.backlog += occ
-	return queued + access + occ, queued, energyPJ
+	latency = queued + access + occ
+
+	if c.Audit != nil {
+		c.Audit.Tick()
+		now := c.lastT
+		if c.backlog < occ { // backlog was negative before this access's work
+			c.Audit.Violationf("dram.backlog", now, "backlog %d < occupancy %d after access", c.backlog, occ)
+		}
+		if queued < 0 {
+			c.Audit.Violationf("dram.queued", now, "negative queueing delay %d", queued)
+		}
+		if occ <= 0 {
+			c.Audit.Violationf("dram.occupancy", now, "non-positive access occupancy %d", occ)
+		}
+		if latency < occ {
+			c.Audit.Violationf("dram.latency", now, "latency %d below transfer occupancy %d", latency, occ)
+		}
+		if c.openRow[bank] != row {
+			c.Audit.Violationf("dram.openrow", now, "bank %d open row %d after accessing row %d", bank, c.openRow[bank], row)
+		}
+	}
+	return latency, queued, energyPJ
 }
 
 // WorstAccessCycles returns the unloaded row-miss latency (tRP + tRCD +
@@ -141,10 +178,14 @@ func (c *Channel) RowStats() (hits, misses int64) { return c.rowHits, c.rowMisse
 // NextFree returns the earliest cycle a new access can start (for tests).
 func (c *Channel) NextFree() int64 { return c.lastT + c.backlog }
 
-// Reset clears channel state between simulation phases if needed.
+// Reset clears channel state between simulation phases if needed: timing
+// (arrival cursor and backlog), the open-row state of every bank, and the
+// row-buffer counters. The counters previously leaked across Reset, so
+// phase-resolved row-buffer metrics double-counted earlier phases.
 func (c *Channel) Reset() {
 	c.lastT, c.backlog = 0, 0
 	for b := range c.openRow {
 		c.openRow[b] = -1
 	}
+	c.rowHits, c.rowMisses = 0, 0
 }

@@ -1,9 +1,11 @@
 package dram
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
+	"abndp/internal/check"
 	"abndp/internal/config"
 	"abndp/internal/mem"
 )
@@ -122,6 +124,71 @@ func TestReset(t *testing.T) {
 	lat, _, _ := c.Access(0, 1)
 	if lat != 34+34+8 {
 		t.Fatalf("post-reset latency = %d, want cold 76", lat)
+	}
+}
+
+// Regression: Reset used to clear timing state but leak the row-buffer
+// counters, so phase-resolved row hit/miss metrics double-counted every
+// earlier phase.
+func TestResetClearsRowStats(t *testing.T) {
+	c := newTestChannel()
+	for i := 0; i < 64; i++ {
+		c.Access(int64(i*100), mem.Line(i))
+	}
+	if h, m := c.RowStats(); h == 0 || m == 0 {
+		t.Fatalf("warmup recorded no row activity (%d/%d)", h, m)
+	}
+	c.Reset()
+	if h, m := c.RowStats(); h != 0 || m != 0 {
+		t.Fatalf("RowStats after Reset = %d/%d, want 0/0", h, m)
+	}
+}
+
+// Regression: AccessScaled silently treated any scale < 1 (including NaN)
+// as 1. The clamp is now explicit, documented, and — under an installed
+// Audit — recorded as a domain violation.
+func TestAccessScaledClampsScaleBelowOne(t *testing.T) {
+	for _, scale := range []float64{0.5, 0, -3, math.NaN()} {
+		ref := newTestChannel()
+		c := newTestChannel()
+		c.Audit = check.New()
+		wantLat, wantQ, wantPJ := ref.Access(0, 7)
+		lat, q, pj := c.AccessScaled(0, 7, scale)
+		if lat != wantLat || q != wantQ || pj != wantPJ {
+			t.Fatalf("scale %v: got (%d,%d,%v), want clamped-to-1 (%d,%d,%v)",
+				scale, lat, q, pj, wantLat, wantQ, wantPJ)
+		}
+		vs := c.Audit.Violations()
+		if len(vs) == 0 || vs[0].Rule != "dram.scale" {
+			t.Fatalf("scale %v: no dram.scale violation recorded (%v)", scale, vs)
+		}
+	}
+	// scale >= 1 is in-domain: no violation.
+	c := newTestChannel()
+	c.Audit = check.New()
+	c.AccessScaled(0, 7, 1)
+	c.AccessScaled(100, 8, 2.5)
+	if !c.Audit.Ok() {
+		t.Fatalf("in-domain scales flagged: %v", c.Audit.Violations())
+	}
+}
+
+// The channel's runtime invariants hold over arbitrary access sequences.
+func TestChannelAuditCleanUnderRandomTraffic(t *testing.T) {
+	f := func(lines []uint32, gaps []uint8) bool {
+		c := newTestChannel()
+		c.Audit = check.New()
+		now := int64(0)
+		for i, l := range lines {
+			if i < len(gaps) {
+				now += int64(gaps[i])
+			}
+			c.Access(now, mem.Line(l))
+		}
+		return c.Audit.Ok()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,236 @@
+package ndp
+
+// Runtime invariant auditing: the internal/check layer threaded through the
+// engine, DRAM channels, Traveller caches, and scheduler, plus the
+// end-of-run conservation checks that only the System itself can evaluate.
+// Everything here follows the observer's zero-cost-when-off discipline:
+// s.audit is nil by default and every probe site is a single nil check.
+
+import (
+	"math"
+
+	"abndp/internal/check"
+	"abndp/internal/energy"
+)
+
+// SetChecker installs (or, with nil, removes) the invariant checker on the
+// system and every audited component: the event engine (time monotonicity),
+// each unit's DRAM channel (backlog and row-buffer accounting), each
+// Traveller cache (LRU permutation ranks), the scheduler (placement
+// verdicts and exchanged snapshots), and the interconnect cost model
+// (latency-table structure). Must be called before Run.
+func (s *System) SetChecker(c *check.Checker) {
+	s.audit = c
+	s.Engine.Audit = c
+	for _, u := range s.units {
+		u.dram.Audit = c
+		if u.cache != nil {
+			u.cache.Audit = c
+		}
+	}
+	if c != nil {
+		s.Sched.SetAudit(c, s.Engine.Now)
+		// The interconnect cost model is immutable after construction; one
+		// structural pass over its latency table audits every lookup the
+		// run will make.
+		s.Noc.AuditTable(c)
+	} else {
+		s.Sched.SetAudit(nil, nil)
+	}
+}
+
+// Checker returns the installed invariant checker, or nil.
+func (s *System) Checker() *check.Checker { return s.audit }
+
+// ArmFaultLayerForAudit forces the fault-injection layer to exist even when
+// the plan is empty. The metamorphic harness uses it to verify that an
+// armed-but-empty fault layer is byte-identical to no fault layer at all:
+// every probe site must degrade to a no-op, not merely a small perturbation.
+func (s *System) ArmFaultLayerForAudit() {
+	if s.flt == nil {
+		s.armFaults()
+	}
+}
+
+// auditResult evaluates the whole-run conservation invariants against the
+// finalized Result. Called from Run when a checker is installed.
+func (s *System) auditResult(r *Result) {
+	c := s.audit
+	now := s.Engine.Now()
+	c.Tick()
+
+	// Task conservation: every task enters the pending list exactly once in
+	// its lifetime, and on a clean finish every pending task was executed.
+	// An unrecoverable run legitimately strands spawned tasks.
+	if r.Unrecoverable == "" {
+		if s.auditSpawned != r.Tasks {
+			c.Violationf("ndp.conservation", now,
+				"spawned %d tasks but executed %d", s.auditSpawned, r.Tasks)
+		}
+		// W_u residual: placement adds each task's estimated workload to its
+		// target and dispatch removes it, so a drained system returns to ~0
+		// (float cancellation noise aside).
+		for u, w := range s.trueW {
+			if math.IsNaN(w) || math.Abs(w) > 1e-3 {
+				c.Violationf("ndp.residual", now,
+					"unit %d finished with queued-workload residual %v", u, w)
+			}
+		}
+	}
+
+	if r.Makespan < 0 {
+		c.Violationf("ndp.makespan", now, "negative makespan %d", r.Makespan)
+	}
+
+	// Energy: every per-unit component is finite and non-negative, and the
+	// Result total is additive over units.
+	var sum float64
+	for u := range r.Stats.Units {
+		b := &r.Stats.Units[u].Energy
+		for _, part := range [4]struct {
+			name string
+			v    float64
+		}{{"core+sram", b.CoreSRAM}, {"dram", b.DRAM}, {"interconnect", b.Interconnect}, {"static", b.Static}} {
+			if math.IsNaN(part.v) || math.IsInf(part.v, 0) || part.v < 0 {
+				c.Violationf("ndp.energy", now,
+					"unit %d %s energy %v pJ (negative or non-finite)", u, part.name, part.v)
+			}
+		}
+		sum += b.Total()
+	}
+	if total := r.Energy.Total(); !approxEq(sum, total, 1e-9) {
+		c.Violationf("ndp.energy.sum", now,
+			"result energy %v pJ != per-unit sum %v pJ", total, sum)
+	}
+
+	// A core is busy for at most every cycle of the run.
+	for u := range r.Stats.Units {
+		for ci, ac := range r.Stats.Units[u].ActiveCycles {
+			if ac < 0 || ac > r.Makespan {
+				c.Violationf("ndp.activecycles", now,
+					"unit %d core %d active %d cycles of a %d-cycle run", u, ci, ac, r.Makespan)
+			}
+		}
+	}
+
+	// Phase-resolved metrics must agree with the aggregate counters: the two
+	// are written by independent probe sites, so a mismatch means one lied.
+	if m := r.Stats.Obs; m != nil {
+		if got := m.TotalTasks(); got != r.Tasks {
+			c.Violationf("ndp.obs.tasks", now,
+				"phase-resolved metrics counted %d tasks, aggregate says %d", got, r.Tasks)
+		}
+	}
+
+	// Traveller occupancy is bounded by capacity.
+	for _, u := range s.units {
+		if u.cache != nil {
+			if occ, cap := u.cache.Occupancy(), u.cache.Lines(); occ > cap {
+				c.Violationf("ndp.cacheocc", now,
+					"unit %d cache holds %d lines of %d capacity", u.id, occ, cap)
+			}
+		}
+	}
+
+	// The fault layer's dead-unit count and the stats counter are written by
+	// different code paths; they must agree.
+	if s.flt != nil {
+		dead := int64(0)
+		for _, d := range s.flt.DeadUnits() {
+			if d {
+				dead++
+			}
+		}
+		if dead != r.Stats.Faults.DeadUnits {
+			c.Violationf("ndp.deadunits", now,
+				"injector marks %d units dead, stats counted %d", dead, r.Stats.Faults.DeadUnits)
+		}
+	}
+}
+
+// approxEq reports |a-b| <= tol * max(|a|, |b|, 1).
+func approxEq(a, b, tol float64) bool {
+	scale := math.Abs(a)
+	if s := math.Abs(b); s > scale {
+		scale = s
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) <= tol*scale
+}
+
+// ResultHash folds every deterministic field of a Result — aggregate and
+// per-unit — into one FNV-1a fingerprint. Two runs of the same configuration
+// must produce the same hash (dual-run determinism), and a run with an
+// armed-but-empty fault layer must hash identically to one without the
+// layer (metamorphic identity).
+func ResultHash(r *Result) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 64; i += 8 {
+			h ^= (v >> i) & 0xff
+			h *= prime
+		}
+	}
+	mixi := func(v int64) { mix(uint64(v)) }
+	mixf := func(v float64) { mix(math.Float64bits(v)) }
+	mixb := func(b energy.Breakdown) {
+		mixf(b.CoreSRAM)
+		mixf(b.DRAM)
+		mixf(b.Interconnect)
+		mixf(b.Static)
+	}
+
+	mixi(r.Makespan)
+	mixi(r.Tasks)
+	mixi(r.Steps)
+	mixi(r.InterHops)
+	mixb(r.Energy)
+	mix(uint64(len(r.Unrecoverable)))
+	for _, ch := range []byte(r.Unrecoverable) {
+		mix(uint64(ch))
+	}
+
+	st := r.Stats
+	f := &st.Faults
+	mixi(f.DRAMRetries)
+	mixi(f.DRAMUncorrected)
+	mixi(f.TasksReExecuted)
+	mixi(f.TasksRedistributed)
+	mixi(f.ReroutedMsgs)
+	mixi(f.ReroutedExtraHops)
+	mixi(f.DeadUnits)
+	mixi(f.DeadLinks)
+
+	for i := range st.Units {
+		u := &st.Units[i]
+		for _, ac := range u.ActiveCycles {
+			mixi(ac)
+		}
+		mixi(u.TasksRun)
+		mixi(u.InterHops)
+		mixi(u.IntraMsgs)
+		mixi(u.DRAMReads)
+		mixi(u.DRAMWrites)
+		mixi(u.DRAMQueueCycles)
+		mixi(u.CacheHits)
+		mixi(u.CacheMisses)
+		mixi(u.CacheInserts)
+		mixi(u.CacheBypasses)
+		mixi(u.CacheDeadProbes)
+		mixi(u.L1Hits)
+		mixi(u.L1Misses)
+		mixi(u.PFHits)
+		mixi(u.TasksStolenIn)
+		mixi(u.TasksStolenOut)
+		mixi(u.StallCycles)
+		mixi(u.TasksForwarded)
+		mixb(u.Energy)
+	}
+	return h
+}

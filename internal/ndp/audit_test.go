@@ -1,0 +1,148 @@
+package ndp
+
+import (
+	"testing"
+
+	"abndp/internal/check"
+	"abndp/internal/config"
+	"abndp/internal/fault"
+)
+
+func checkedRun(t *testing.T, cfg config.Config, d config.Design, app App) (*Result, *check.Checker) {
+	t.Helper()
+	sys := NewSystem(cfg, d)
+	c := check.New()
+	sys.SetChecker(c)
+	res := sys.Run(app)
+	return res, c
+}
+
+// Every Table 2 design passes the full invariant audit on a clean run, and
+// the audit actually evaluated something.
+func TestAuditCleanRunAllDesigns(t *testing.T) {
+	cfg := smallCfg()
+	for _, d := range config.NDPDesigns {
+		res, c := checkedRun(t, cfg, d, newSynth(512, true))
+		if !c.Ok() {
+			rep := check.Report{Checks: c.Checks(), Violations: c.Violations()}
+			t.Fatalf("%v: %s", d, rep.String())
+		}
+		if c.Checks() == 0 {
+			t.Fatalf("%v: audit ran zero checks", d)
+		}
+		if res.Tasks != 1024 {
+			t.Fatalf("%v: %d tasks under audit, want 1024 (audit must not perturb)", d, res.Tasks)
+		}
+	}
+}
+
+// The audit stays clean through unit kills, stragglers, and DRAM errors —
+// the graceful-degradation machinery must uphold the same invariants.
+func TestAuditCleanUnderFaults(t *testing.T) {
+	for _, spec := range []string{"kill:3@2000", "slow:1:4:4@1000-5000", "dram:0.0002"} {
+		cfg := smallCfg()
+		p, err := fault.Parse(spec)
+		if err != nil {
+			t.Fatalf("fault.Parse(%q): %v", spec, err)
+		}
+		cfg.Faults = p
+		res, c := checkedRun(t, cfg, config.DesignO, newSynth(512, true))
+		if res.Unrecoverable != "" {
+			t.Fatalf("%q: unexpectedly unrecoverable: %s", spec, res.Unrecoverable)
+		}
+		if !c.Ok() {
+			t.Fatalf("%q: audit failed: %v", spec, c.Violations())
+		}
+	}
+}
+
+// Installing the checker must not change simulated behavior: the audited
+// run's result hash equals the unaudited one's.
+func TestAuditDoesNotPerturbResults(t *testing.T) {
+	cfg := smallCfg()
+	plain := NewSystem(cfg, config.DesignO).Run(newSynth(512, true))
+	audited, c := checkedRun(t, cfg, config.DesignO, newSynth(512, true))
+	if !c.Ok() {
+		t.Fatalf("audit failed: %v", c.Violations())
+	}
+	if ResultHash(plain) != ResultHash(audited) {
+		t.Fatal("installing the checker changed the simulation result")
+	}
+}
+
+// Dual-run determinism: identical configurations hash identically, and the
+// hash is sensitive enough to distinguish designs.
+func TestResultHashDeterminism(t *testing.T) {
+	cfg := smallCfg()
+	a := NewSystem(cfg, config.DesignO).Run(newSynth(512, true))
+	b := NewSystem(cfg, config.DesignO).Run(newSynth(512, true))
+	if ResultHash(a) != ResultHash(b) {
+		t.Fatal("identical runs produced different result hashes")
+	}
+	other := NewSystem(cfg, config.DesignSm).Run(newSynth(512, true))
+	if ResultHash(a) == ResultHash(other) {
+		t.Fatal("hash does not distinguish design O from Sm")
+	}
+}
+
+// Metamorphic identity: a fault layer force-armed with an empty plan must
+// be byte-identical to no fault layer at all. This is the regression test
+// for the service-rate estimator running (and penalizing below-mean units)
+// whenever the injector existed, plan or no plan.
+func TestEmptyFaultLayerIsIdentity(t *testing.T) {
+	cfg := smallCfg()
+	for _, d := range []config.Design{config.DesignSl, config.DesignO} {
+		plain := NewSystem(cfg, d).Run(newSynth(512, true))
+		sys := NewSystem(cfg, d)
+		sys.ArmFaultLayerForAudit()
+		armed := sys.Run(newSynth(512, true))
+		if ResultHash(plain) != ResultHash(armed) {
+			t.Fatalf("%v: armed-but-empty fault layer changed the result (makespan %d vs %d)",
+				d, plain.Makespan, armed.Makespan)
+		}
+	}
+}
+
+// The result audit detects corruption: a non-zero workload residual after a
+// clean finish is flagged.
+func TestAuditResultDetectsResidual(t *testing.T) {
+	cfg := smallCfg()
+	sys := NewSystem(cfg, config.DesignO)
+	c := check.New()
+	sys.SetChecker(c)
+	res := sys.Run(newSynth(256, false))
+	if !c.Ok() {
+		t.Fatalf("clean run flagged: %v", c.Violations())
+	}
+	sys.trueW[0] = 42 // corrupt the drained workload accounting
+	sys.auditResult(res)
+	found := false
+	for _, v := range c.Violations() {
+		if v.Rule == "ndp.residual" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("audit missed the corrupted workload residual: %v", c.Violations())
+	}
+}
+
+// ...and a conservation break (spawned != executed) is flagged too.
+func TestAuditResultDetectsConservationBreak(t *testing.T) {
+	cfg := smallCfg()
+	sys := NewSystem(cfg, config.DesignO)
+	c := check.New()
+	sys.SetChecker(c)
+	res := sys.Run(newSynth(256, false))
+	sys.auditSpawned++ // phantom task
+	sys.auditResult(res)
+	found := false
+	for _, v := range c.Violations() {
+		if v.Rule == "ndp.conservation" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("audit missed the spawned/executed mismatch: %v", c.Violations())
+	}
+}

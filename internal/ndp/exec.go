@@ -29,6 +29,9 @@ func (s *System) Run(app App) *Result {
 		emitted++
 		s.placeTask(t, t.Origin)
 		s.pending = append(s.pending, t)
+		if s.audit != nil {
+			s.auditSpawned++
+		}
 	})
 
 	s.curTS = -1
@@ -40,7 +43,11 @@ func (s *System) Run(app App) *Result {
 		panic("ndp: simulation drained events with tasks outstanding")
 	}
 	s.obsEnd()
-	return s.finalize()
+	res := s.finalize()
+	if s.audit != nil {
+		s.auditResult(res)
+	}
+	return res
 }
 
 // placeTask runs the scheduling policy for t from origin's scheduler and
@@ -50,6 +57,13 @@ func (s *System) Run(app App) *Result {
 // ... when a task is enqueued").
 func (s *System) placeTask(t *task.Task, origin topology.UnitID) {
 	t.Target = s.Sched.Place(t, origin)
+	if t.Target < 0 {
+		// The scheduler's no-live-unit verdict. Runtime paths normally abort
+		// before reaching it (failUnit gives up when LiveUnits hits 0), but
+		// indexing trueW at -1 must never be the failure mode.
+		s.abort("no live unit can accept a task")
+		return
+	}
 	s.trueW[t.Target] += t.Hint.EstimatedWorkload()
 	if t.Target != origin {
 		s.chargeMsg(origin, origin, t.Target, noc.CtrlBytes)
@@ -314,6 +328,9 @@ func (s *System) complete(u *unit, ci int, t *task.Task, dur, stall, instrs int6
 		} else {
 			s.placeTask(c, u.id)
 			s.pending = append(s.pending, c)
+			if s.audit != nil {
+				s.auditSpawned++
+			}
 		}
 	}
 
@@ -356,6 +373,9 @@ func (s *System) runScheduler(u *unit) {
 		for _, c := range u.schedQ[:n] {
 			s.placeTask(c, u.id)
 			s.pending = append(s.pending, c)
+			if s.audit != nil {
+				s.auditSpawned++
+			}
 		}
 		u.schedQ = u.schedQ[n:]
 		s.schedQOutstanding -= int64(n)
@@ -407,9 +427,12 @@ func (s *System) scheduleExchange() {
 		if s.finished {
 			return
 		}
-		if s.flt != nil {
+		if s.fltActive {
 			// Ride the exchange: units report observed service rates along
 			// with their loads, so the hybrid score can discount stragglers.
+			// Gated on fltActive, not flt: a fault layer force-armed with an
+			// empty plan must not perturb the rate estimates (the estimator
+			// penalizes below-mean units even when nothing is faulty).
 			s.updateServiceRates()
 		}
 		s.Sched.Exchange(s.trueW)

@@ -21,6 +21,7 @@ import (
 func (s *System) armFaults() {
 	units := len(s.units)
 	s.flt = fault.NewInjector(s.Cfg.Faults, units, s.Topo.Stacks())
+	s.fltActive = !s.Cfg.Faults.Empty()
 	s.Sched.SetDeadMask(s.flt.DeadUnits())
 	s.Cost.SetDeadMask(s.flt.DeadUnits())
 
@@ -109,6 +110,9 @@ func (s *System) failUnit(id int) {
 		for i, c := range u.schedQ {
 			s.placeTask(c, origin)
 			s.pending = append(s.pending, c)
+			if s.audit != nil {
+				s.auditSpawned++
+			}
 			u.schedQ[i] = nil
 		}
 		u.schedQ = u.schedQ[:0]

@@ -149,7 +149,7 @@ func (s *System) obsSample() {
 		t.Counter(int(u.id), "queue depth", now, float64(q))
 		t.Counter(int(u.id), "dram backlog cycles", now, float64(ub))
 		if u.cache != nil {
-			h, m, _, _ := u.cache.Stats()
+			h, m, _, _, _ := u.cache.Stats()
 			travHits += h
 			travMisses += m
 		}

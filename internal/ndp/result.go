@@ -43,7 +43,7 @@ func (s *System) finalize() *Result {
 			st.L1Hits, st.L1Misses = h, m
 		}
 		if c := s.units[i].cache; c != nil {
-			st.CacheHits, st.CacheMisses, st.CacheInserts, st.CacheBypasses = c.Stats()
+			st.CacheHits, st.CacheMisses, st.CacheInserts, st.CacheBypasses, st.CacheDeadProbes = c.Stats()
 		}
 	}
 	return &Result{

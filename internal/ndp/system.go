@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"abndp/internal/cache"
+	"abndp/internal/check"
 	"abndp/internal/config"
 	"abndp/internal/core"
 	"abndp/internal/dram"
@@ -93,6 +94,19 @@ type System struct {
 	fltBusy     []int64
 	fltLastWork []float64
 	fltLastBusy []int64
+
+	// fltActive distinguishes a fault layer armed with a real plan from one
+	// force-armed by the metamorphic audit harness with an empty plan. Only
+	// behavior-changing fault machinery (service-rate estimation) gates on
+	// it; pure probe sites gate on flt != nil and degrade to no-ops.
+	fltActive bool
+
+	// Invariant auditing (internal/check). audit is nil by default — the
+	// same zero-cost-when-off discipline as the observer. auditSpawned
+	// counts tasks entering the pending list (exactly once per task
+	// lifetime) for the end-of-run conservation check.
+	audit        *check.Checker
+	auditSpawned int64
 
 	// Observability (internal/obs). observer is nil by default; obsM and
 	// obsT cache its Metrics/Trace sinks so every hot-path probe site is a

@@ -7,6 +7,7 @@
 package noc
 
 import (
+	"abndp/internal/check"
 	"abndp/internal/config"
 	"abndp/internal/topology"
 )
@@ -87,6 +88,42 @@ func (m *Model) Energy(from, to topology.UnitID, bytes int) float64 {
 	}
 	hops := float64(m.topo.InterHops(from, to))
 	return bits * (2*m.intraPJBit + hops*m.interPJBit)
+}
+
+// AuditTable evaluates the structural invariants of the precomputed
+// latency table: every entry survived the int32 narrowing in New (a huge
+// mesh with slow hops would silently truncate), the table is symmetric (a
+// message costs the same in both directions on an X-Y-routed mesh), the
+// diagonal is zero, and every cross-stack latency is bounded below by its
+// mesh hops. The model is immutable after New, so one pass when the
+// checker is installed audits every lookup the run will make.
+func (m *Model) AuditTable(c *check.Checker) {
+	c.Tick()
+	for a := 0; a < m.units; a++ {
+		for b := 0; b < m.units; b++ {
+			got := int64(m.latTable[a*m.units+b])
+			ua, ub := topology.UnitID(a), topology.UnitID(b)
+			if want := m.latency(ua, ub); got != want {
+				c.Violationf("noc.lattable", -1,
+					"latency table [%d->%d] = %d, recomputed %d (int32 truncation?)", a, b, got, want)
+				return
+			}
+			if back := int64(m.latTable[b*m.units+a]); got != back {
+				c.Violationf("noc.symmetry", -1,
+					"latency %d->%d = %d but %d->%d = %d", a, b, got, b, a, back)
+				return
+			}
+			if a == b && got != 0 {
+				c.Violationf("noc.diag", -1, "unit %d self-latency %d", a, got)
+				return
+			}
+			if floor := int64(m.Hops(ua, ub)) * m.interCycles; got < floor {
+				c.Violationf("noc.hopfloor", -1,
+					"latency %d->%d = %d below its %d mesh-hop floor %d", a, b, got, m.Hops(ua, ub), floor)
+				return
+			}
+		}
+	}
 }
 
 // InterHopCycles returns the per-hop latency of the inter-stack mesh,

@@ -3,6 +3,7 @@ package noc
 import (
 	"testing"
 
+	"abndp/internal/check"
 	"abndp/internal/config"
 	"abndp/internal/topology"
 )
@@ -100,5 +101,32 @@ func TestConstants(t *testing.T) {
 	}
 	if m.IntraCycles() != 3 {
 		t.Fatalf("IntraCycles = %d, want 3", m.IntraCycles())
+	}
+}
+
+// The default mesh's latency table passes its structural audit.
+func TestNocAuditTableClean(t *testing.T) {
+	m := newModel()
+	c := check.New()
+	m.AuditTable(c)
+	if !c.Ok() {
+		t.Fatalf("clean table flagged: %v", c.Violations())
+	}
+	if c.Checks() == 0 {
+		t.Fatal("audit evaluated nothing")
+	}
+}
+
+// ...and a corrupted entry (the int32-truncation failure mode) is caught.
+func TestNocAuditTableDetectsCorruption(t *testing.T) {
+	m := newModel()
+	m.latTable[1] -= 1 // unit 0 -> 1, off by one cycle
+	c := check.New()
+	m.AuditTable(c)
+	if c.Ok() {
+		t.Fatal("audit missed the corrupted latency entry")
+	}
+	if vs := c.Violations(); vs[0].Rule != "noc.lattable" {
+		t.Fatalf("unexpected rule: %v", vs)
 	}
 }

@@ -15,6 +15,9 @@
 package sched
 
 import (
+	"math"
+
+	"abndp/internal/check"
 	"abndp/internal/config"
 	"abndp/internal/core"
 	"abndp/internal/noc"
@@ -80,6 +83,13 @@ type Scheduler struct {
 	// load term of the unit the task was actually sent to. Nil by default;
 	// the disabled path is one branch per Place call.
 	scoreHook func(origin, target topology.UnitID, memCost, loadTerm float64)
+
+	// audit, when non-nil, verifies every placement decision (finite score
+	// terms, non-negative memory cost, never a dead target) and every
+	// exchanged snapshot (finite, non-negative loads). auditNow supplies
+	// the violation timestamps; the scheduler has no clock of its own.
+	audit    *check.Checker
+	auditNow func() int64
 }
 
 // New builds a scheduler. campAware must match the cost model: design O
@@ -111,6 +121,17 @@ func (s *Scheduler) Exchange(trueW []float64) {
 	copy(s.snapW, trueW)
 	for i := range s.delta {
 		s.delta[i] = 0
+	}
+	if s.audit != nil {
+		s.audit.Tick()
+		for u, w := range s.snapW {
+			// A small negative residual is float cancellation from the
+			// enqueue/dequeue churn, not an accounting bug.
+			if math.IsNaN(w) || math.IsInf(w, 0) || w < -1e-6 {
+				s.audit.Violationf("sched.snapshot", s.auditCycle(),
+					"unit %d exchanged load %v (negative or non-finite)", u, w)
+			}
+		}
 	}
 }
 
@@ -162,6 +183,22 @@ func (s *Scheduler) SetScoreHook(f func(origin, target topology.UnitID, memCost,
 	s.scoreHook = f
 }
 
+// SetAudit installs (or, with nil, removes) the invariant checker. now
+// supplies violation timestamps (typically the engine clock); a nil now
+// stamps violations with cycle -1. Like the score hook, auditing is
+// read-only and never changes which unit Place returns.
+func (s *Scheduler) SetAudit(c *check.Checker, now func() int64) {
+	s.audit = c
+	s.auditNow = now
+}
+
+func (s *Scheduler) auditCycle() int64 {
+	if s.auditNow != nil {
+		return s.auditNow()
+	}
+	return -1
+}
+
 // Place chooses the execution unit for t, scheduled by origin's scheduler,
 // and records the forwarded load in origin's delta. Ties break toward the
 // lowest unit ID so results are deterministic.
@@ -181,7 +218,28 @@ func (s *Scheduler) Place(t *task.Task, origin topology.UnitID) topology.UnitID 
 	default:
 		panic("sched: unknown policy kind")
 	}
+	if target < 0 {
+		// No live unit can accept the task (every unit is dead). Return
+		// the verdict without touching the delta matrix — the old code
+		// would have indexed it at -1 — and without invoking the hook.
+		return -1
+	}
 	s.delta[int(origin)*s.units+int(target)] += t.Hint.EstimatedWorkload()
+	if s.audit != nil {
+		s.audit.Tick()
+		if s.dead != nil && s.dead[target] {
+			s.audit.Violationf("sched.deadtarget", s.auditCycle(),
+				"task placed on dead unit %d", target)
+		}
+		if math.IsNaN(memCost) || math.IsInf(memCost, 0) || memCost < 0 {
+			s.audit.Violationf("sched.memcost", s.auditCycle(),
+				"placement on unit %d with memory cost %v", target, memCost)
+		}
+		if math.IsNaN(loadTerm) || math.IsInf(loadTerm, 0) {
+			s.audit.Violationf("sched.loadterm", s.auditCycle(),
+				"placement on unit %d with load term %v", target, loadTerm)
+		}
+	}
 	if s.scoreHook != nil {
 		s.scoreHook(origin, target, memCost, loadTerm)
 	}
@@ -196,6 +254,9 @@ func (s *Scheduler) placeLowestDistance(t *task.Task) (topology.UnitID, float64)
 	best := s.camps.Home(t.Hint.Lines[0])
 	if s.dead != nil {
 		best = s.NearestLive(best)
+		if best < 0 {
+			return -1, 0 // every unit is dead
+		}
 	}
 	bestCost := s.cost.MemCost(s.candBuf, best)
 	for u := 0; u < s.units; u++ {
@@ -234,12 +295,30 @@ func (s *Scheduler) placeHybrid(t *task.Task, origin topology.UnitID) (topology.
 			// stragglers shed work without any explicit straggler signal.
 			w /= s.rates[u]
 		}
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			// A non-finite load term would make every score comparison
+			// false and silently disable the load half of the policy.
+			// Clamp it so one poisoned unit cannot break placement, and
+			// leave an audit trail when the checker is armed.
+			if s.audit != nil {
+				s.audit.Violationf("sched.load", s.auditCycle(),
+					"unit %d load term %v is not finite", u, w)
+			}
+			w = 0
+		}
 		s.loadBuf[u] = w
 		if s.dead != nil && s.dead[u] {
 			continue // dead units contribute nothing to the mean
 		}
 		sum += w
 		live++
+	}
+	if live == 0 {
+		// Every unit is dead. The old code divided by zero here, poisoning
+		// mean to NaN so every score comparison was false and the stale
+		// `best` index went out of bounds. Return the explicit
+		// no-live-unit verdict (the same -1 NearestLive reports) instead.
+		return -1, 0, 0
 	}
 	const meanFloor = 32 // about two tasks' default workload estimate
 	mean := sum / float64(live)

@@ -1,8 +1,11 @@
 package sched
 
 import (
+	"math"
+	"math/rand"
 	"testing"
 
+	"abndp/internal/check"
 	"abndp/internal/config"
 	"abndp/internal/core"
 	"abndp/internal/mem"
@@ -315,6 +318,187 @@ func TestScoreHookObservesWithoutPerturbing(t *testing.T) {
 			t.Fatalf("kind %v: hook called %d times, want 1", kind, calls)
 		}
 	}
+}
+
+// Regression: with every unit dead, placeHybrid divided the load sum by
+// live == 0, poisoning the mean to NaN so every score comparison failed and
+// the stale home index (NearestLive = -1) went out of bounds. All policies
+// must now return the explicit -1 verdict instead of panicking.
+func TestPlaceAllUnitsDeadReturnsVerdict(t *testing.T) {
+	e := newEnv()
+	for _, kind := range []Kind{KindHome, KindLowestDistance, KindHybrid} {
+		s := e.scheduler(kind, false)
+		s.SetAudit(check.New(), nil)
+		dead := make([]bool, e.topo.Units())
+		for i := range dead {
+			dead[i] = true
+		}
+		s.SetDeadMask(dead)
+		w := make([]float64, e.topo.Units())
+		for i := range w {
+			w[i] = float64(i)
+		}
+		s.Exchange(w)
+		tsk := &task.Task{Hint: task.Hint{Lines: []mem.Line{e.lineOn(42)}, Workload: 10}}
+		got := s.Place(tsk, 3)
+		if got != -1 {
+			t.Fatalf("kind %v: Place with all units dead = %d, want -1", kind, got)
+		}
+		// The -1 verdict must not have scribbled on the delta matrix.
+		for i, d := range s.delta {
+			if d != 0 {
+				t.Fatalf("kind %v: delta[%d] = %v after refused placement", kind, i, d)
+			}
+		}
+		if !s.audit.Ok() {
+			t.Fatalf("kind %v: audit flagged the all-dead verdict: %v", kind, s.audit.Violations())
+		}
+	}
+}
+
+// A unit whose effective load goes non-finite (e.g. a poisoned snapshot
+// entry) is clamped to 0 and recorded as a violation; placement still
+// succeeds and the chosen unit's score terms stay finite.
+func TestHybridClampsNonFiniteLoad(t *testing.T) {
+	e := newEnv()
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		s := e.scheduler(KindHybrid, false)
+		s.SetAudit(check.New(), nil)
+		w := make([]float64, e.topo.Units())
+		for i := range w {
+			w[i] = 100
+		}
+		s.Exchange(w)
+		s.snapW[7] = bad // corrupt after Exchange so only Place sees it
+		tsk := &task.Task{Hint: task.Hint{Lines: []mem.Line{e.lineOn(42)}}}
+		got := s.Place(tsk, 0)
+		if got < 0 {
+			t.Fatalf("load %v: placement refused", bad)
+		}
+		found := false
+		for _, v := range s.audit.Violations() {
+			if v.Rule == "sched.load" {
+				found = true
+			}
+			if v.Rule == "sched.memcost" || v.Rule == "sched.loadterm" {
+				t.Fatalf("load %v: clamp leaked into the decision: %v", bad, v)
+			}
+		}
+		if !found {
+			t.Fatalf("load %v: no sched.load violation recorded", bad)
+		}
+	}
+}
+
+// pickVictimRef is an independent brute-force oracle for the documented
+// PickVictim contract: longest queue above minQueue, ties toward the lowest
+// steal latency, then the lowest unit ID; -1 iff no unit qualifies.
+func pickVictimRef(thief topology.UnitID, lens []int, minQueue int, n *noc.Model) topology.UnitID {
+	best := topology.UnitID(-1)
+	for u := range lens {
+		uid := topology.UnitID(u)
+		if uid == thief || lens[u] <= minQueue {
+			continue
+		}
+		if best < 0 {
+			best = uid
+			continue
+		}
+		switch {
+		case lens[u] > lens[best]:
+			best = uid
+		case lens[u] == lens[best] && n.Latency(thief, uid) < n.Latency(thief, best):
+			best = uid
+			// equal length and latency: keep the lower ID (u iterates upward)
+		}
+	}
+	return best
+}
+
+// Property: PickVictim is deterministic and matches the brute-force oracle
+// over random queue states, thieves, and thresholds.
+func TestPickVictimMatchesOracle(t *testing.T) {
+	e := newEnv()
+	units := e.topo.Units()
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		lens := make([]int, units)
+		for i := range lens {
+			// Coarse buckets force plenty of exact ties.
+			lens[i] = r.Intn(4) * 5
+		}
+		thief := topology.UnitID(r.Intn(units))
+		minQ := r.Intn(8)
+		got := PickVictim(thief, lens, minQ, e.noc)
+		if got != PickVictim(thief, lens, minQ, e.noc) {
+			return false // nondeterministic
+		}
+		if got != pickVictimRef(thief, lens, minQ, e.noc) {
+			return false
+		}
+		// -1 exactly when no non-thief queue exceeds the threshold.
+		any := false
+		for u, l := range lens {
+			if topology.UnitID(u) != thief && l > minQ {
+				any = true
+			}
+		}
+		if any == (got == -1) {
+			return false
+		}
+		// A victim is never the thief and always exceeds the threshold.
+		return got == -1 || (got != thief && lens[got] > minQ)
+	}
+	for i := 0; i < 200; i++ {
+		if !f(rng.Int63()) {
+			t.Fatalf("PickVictim diverged from oracle (iteration %d)", i)
+		}
+	}
+}
+
+// Ties break by steal latency before unit ID: two equally long queues on
+// units at different distances must resolve to the nearer one even when the
+// farther one has the lower ID.
+func TestPickVictimPrefersNearerOnTies(t *testing.T) {
+	e := newEnv()
+	units := e.topo.Units()
+	thief := topology.UnitID(units - 1) // far corner, so low IDs are distant
+	lens := make([]int, units)
+	near := topology.UnitID(units - 2)
+	far := topology.UnitID(0)
+	if e.noc.Latency(thief, near) >= e.noc.Latency(thief, far) {
+		t.Fatalf("test topology assumption broken: near %d not nearer than far %d", near, far)
+	}
+	lens[near], lens[far] = 20, 20
+	if got := PickVictim(thief, lens, 1, e.noc); got != near {
+		t.Fatalf("victim = %d, want nearer unit %d on equal queues", got, near)
+	}
+	// Lowest ID wins only when both length and latency tie.
+	lens[near] = 0
+	mirror := mirrorUnit(e, thief, far)
+	if mirror >= 0 && mirror != far {
+		lens[mirror] = 20
+		want := far
+		if mirror < want {
+			want = mirror
+		}
+		if got := PickVictim(thief, lens, 1, e.noc); got != want {
+			t.Fatalf("victim = %d, want lowest-ID %d among equal-latency ties", got, want)
+		}
+	}
+}
+
+// mirrorUnit finds a unit distinct from u with the same latency from the
+// thief, or -1 if none exists.
+func mirrorUnit(e *env, thief, u topology.UnitID) topology.UnitID {
+	want := e.noc.Latency(thief, u)
+	for v := 0; v < e.topo.Units(); v++ {
+		if uid := topology.UnitID(v); uid != u && uid != thief && e.noc.Latency(thief, uid) == want {
+			return uid
+		}
+	}
+	return -1
 }
 
 func TestPlaceIsDeterministic(t *testing.T) {

@@ -6,6 +6,8 @@
 // this repository fully deterministic for a given seed.
 package sim
 
+import "abndp/internal/check"
+
 // Engine is a discrete-event simulator clock and event queue.
 //
 // The zero value is ready to use. Engine is not safe for concurrent use;
@@ -32,6 +34,16 @@ type Engine struct {
 	// the engine's hot-path guarantees (see BenchmarkEnginePushPop and
 	// TestEngineSteadyStateAllocs).
 	Probe func(at int64, pending int)
+
+	// Audit, when non-nil, verifies the event-ordering invariants on every
+	// pop: time never runs backwards, and same-cycle events fire in
+	// scheduling order. Same zero-cost-when-off contract as Probe — one nil
+	// check per event, no allocation (TestEngineAuditOffAllocs).
+	Audit *check.Checker
+
+	// lastSeq is the sequence number of the last popped event, used by the
+	// Audit ordering check (only written when Audit is non-nil).
+	lastSeq uint64
 }
 
 type event struct {
@@ -157,6 +169,18 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := e.popMin()
+	if e.Audit != nil {
+		e.Audit.Tick()
+		if ev.at < e.now {
+			e.Audit.Violationf("engine.monotonic", e.now,
+				"popped event at cycle %d after the clock reached %d", ev.at, e.now)
+		}
+		if ev.at == e.now && e.lastSeq != 0 && ev.seq <= e.lastSeq {
+			e.Audit.Violationf("engine.fifo", e.now,
+				"same-cycle event seq %d popped after seq %d", ev.seq, e.lastSeq)
+		}
+		e.lastSeq = ev.seq
+	}
 	e.now = ev.at
 	if e.Probe != nil {
 		e.Probe(ev.at, len(e.pq))

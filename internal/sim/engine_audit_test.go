@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+
+	"abndp/internal/check"
+)
+
+// TestEngineAuditCleanRun: a well-formed event sequence audits clean, with
+// one invariant evaluation per executed event.
+func TestEngineAuditCleanRun(t *testing.T) {
+	e := &Engine{Audit: check.New()}
+	for i := 0; i < 100; i++ {
+		e.At(int64(i%7), func() {})
+	}
+	e.Run()
+	r := e.Audit.Report()
+	if !r.Ok() {
+		t.Fatalf("clean run reported violations: %s", r)
+	}
+	if r.Checks != 100 {
+		t.Fatalf("Checks = %d, want 100", r.Checks)
+	}
+}
+
+// TestEngineAuditDetectsTimeReversal corrupts the heap directly (something
+// no public API allows) and verifies the audit catches the out-of-order pop.
+func TestEngineAuditDetectsTimeReversal(t *testing.T) {
+	e := &Engine{Audit: check.New()}
+	e.At(10, func() {})
+	e.At(20, func() {})
+	// Swap the two events so the later timestamp pops first.
+	e.pq[0], e.pq[1] = e.pq[1], e.pq[0]
+	e.Run()
+	vs := e.Audit.Violations()
+	if len(vs) != 1 || vs[0].Rule != "engine.monotonic" {
+		t.Fatalf("violations = %v, want one engine.monotonic", vs)
+	}
+}
+
+// TestEngineAuditDetectsFIFOBreak corrupts same-cycle ordering: two events
+// at the same cycle swapped out of scheduling order.
+func TestEngineAuditDetectsFIFOBreak(t *testing.T) {
+	e := &Engine{Audit: check.New()}
+	e.At(5, func() {})
+	e.At(5, func() {})
+	e.pq[0], e.pq[1] = e.pq[1], e.pq[0]
+	e.Run()
+	vs := e.Audit.Violations()
+	if len(vs) != 1 || vs[0].Rule != "engine.fifo" {
+		t.Fatalf("violations = %v, want one engine.fifo", vs)
+	}
+}
+
+// TestEngineAuditOffAllocs pins the audit layer's zero-cost-when-off
+// contract: with Audit nil, the push/pop steady state stays at 0 allocs/op.
+func TestEngineAuditOffAllocs(t *testing.T) {
+	e := &Engine{}
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.At(int64(i), fn) // pre-grow the heap
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(3, fn)
+		e.After(1, fn)
+		e.Step()
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady state allocates %.1f allocs/op with audit off, want 0", allocs)
+	}
+}

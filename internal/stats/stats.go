@@ -24,6 +24,7 @@ type Unit struct {
 	DRAMQueueCycles       int64 // total queueing delay at this unit's channel
 
 	CacheHits, CacheMisses, CacheInserts, CacheBypasses int64
+	CacheDeadProbes                                     int64 // probes after the cache was disabled by a fault
 	L1Hits, L1Misses                                    int64
 	PFHits                                              int64 // prefetch-buffer reuse hits
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"abndp/internal/check"
 	"abndp/internal/config"
 	"abndp/internal/mem"
 )
@@ -31,6 +32,13 @@ type Cache struct {
 	rng        uint64 // splitmix64 state for replacement + bypass decisions
 
 	hits, misses, inserts, bypasses int64
+	deadProbes                      int64 // probes arriving after Disable
+
+	// Audit, when non-nil, validates the touched set after every tag
+	// update: no duplicate resident line, and under LRU the recency ranks
+	// of the valid ways form exactly {0..v-1}. One nil check per
+	// probe/insert when off.
+	Audit *check.Checker
 }
 
 // New builds the cache for one unit from the system configuration. seed
@@ -80,9 +88,13 @@ func (c *Cache) next() uint64 {
 
 // Probe checks the SRAM tags for line l, recording a hit or miss. Under
 // LRU replacement a hit refreshes the line's recency.
+//
+// A probe of a disabled (killed-unit) cache is not a miss: the cache is
+// gone, not cold. Counting those probes as misses skewed post-fault hit
+// rates, so they are tallied separately as dead probes (see Stats).
 func (c *Cache) Probe(l mem.Line) bool {
 	if c.disabled {
-		c.misses++
+		c.deadProbes++
 		return false
 	}
 	base := int(uint64(l)&c.setMask) * c.ways
@@ -91,6 +103,9 @@ func (c *Cache) Probe(l mem.Line) bool {
 			c.hits++
 			if c.useLRU {
 				c.promote(base, w, c.lru[base+w])
+			}
+			if c.Audit != nil {
+				c.auditSet(base)
 			}
 			return true
 		}
@@ -168,7 +183,60 @@ func (c *Cache) Insert(l mem.Line) bool {
 		c.promote(base, way, int8(c.ways-1))
 	}
 	c.inserts++
+	if c.Audit != nil {
+		c.auditSet(base)
+	}
 	return true
+}
+
+// auditSet validates the invariants of the set at base after a tag update.
+// Violations carry cycle -1: the cache does not track simulation time.
+func (c *Cache) auditSet(base int) {
+	c.Audit.Tick()
+	valid := 0
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[base+w] {
+			continue
+		}
+		valid++
+		for x := w + 1; x < c.ways; x++ {
+			if c.valid[base+x] && c.lines[base+x] == c.lines[base+w] {
+				c.Audit.Violationf("traveller.dup", -1,
+					"set %d holds line %d in ways %d and %d", base/c.ways, c.lines[base+w], w, x)
+				return
+			}
+		}
+	}
+	if !c.useLRU {
+		return
+	}
+	// Valid ways' recency ranks must be exactly the permutation prefix
+	// {0..valid-1}; a corrupt rank (e.g. from an int8 overflow) breaks this.
+	var seen [2]uint64 // rank bitset; ways <= config.MaxCacheWays = 127
+	for w := 0; w < c.ways; w++ {
+		r := int(c.lru[base+w])
+		if r < 0 || r >= c.ways {
+			c.Audit.Violationf("traveller.lru.range", -1,
+				"set %d way %d recency rank %d outside [0,%d)", base/c.ways, w, r, c.ways)
+			return
+		}
+		if !c.valid[base+w] {
+			continue
+		}
+		if seen[r>>6]&(1<<uint(r&63)) != 0 {
+			c.Audit.Violationf("traveller.lru.perm", -1,
+				"set %d has duplicate recency rank %d among valid ways", base/c.ways, r)
+			return
+		}
+		seen[r>>6] |= 1 << uint(r&63)
+	}
+	for r := 0; r < valid; r++ {
+		if seen[r>>6]&(1<<uint(r&63)) == 0 {
+			c.Audit.Violationf("traveller.lru.prefix", -1,
+				"set %d valid ranks are not {0..%d}", base/c.ways, valid-1)
+			return
+		}
+	}
 }
 
 // InvalidateAll clears every tag — the bulk invalidation at the end of each
@@ -203,10 +271,12 @@ func (c *Cache) Occupancy() int {
 	return n
 }
 
-// Stats returns cumulative probe hits, probe misses, insertions, and
-// bypass decisions.
-func (c *Cache) Stats() (hits, misses, inserts, bypasses int64) {
-	return c.hits, c.misses, c.inserts, c.bypasses
+// Stats returns cumulative probe hits, probe misses, insertions, bypass
+// decisions, and probes that arrived after the cache was disabled by a
+// unit failure (deadProbes — deliberately not part of misses, so post-fault
+// hit rates describe the cache while it existed).
+func (c *Cache) Stats() (hits, misses, inserts, bypasses, deadProbes int64) {
+	return c.hits, c.misses, c.inserts, c.bypasses, c.deadProbes
 }
 
 // TagBits returns the per-entry SRAM tag width for a system with the given

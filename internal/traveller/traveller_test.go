@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"abndp/internal/check"
 	"abndp/internal/config"
 	"abndp/internal/mem"
 )
@@ -52,9 +53,9 @@ func TestProbeInsertProbe(t *testing.T) {
 	if !c.Probe(l) {
 		t.Fatal("probe after insert should hit")
 	}
-	h, m, ins, byp := c.Stats()
-	if h != 1 || m != 1 || ins != 1 || byp != 0 {
-		t.Fatalf("stats = %d/%d/%d/%d", h, m, ins, byp)
+	h, m, ins, byp, dead := c.Stats()
+	if h != 1 || m != 1 || ins != 1 || byp != 0 || dead != 0 {
+		t.Fatalf("stats = %d/%d/%d/%d/%d", h, m, ins, byp, dead)
 	}
 }
 
@@ -110,7 +111,7 @@ func TestBypassRate(t *testing.T) {
 		// Distinct sets so insertion success isn't limited by conflicts.
 		c.Insert(mem.Line(i))
 	}
-	_, _, ins, byp := c.Stats()
+	_, _, ins, byp, _ := c.Stats()
 	rate := float64(byp) / float64(ins+byp)
 	if rate < 0.35 || rate > 0.45 {
 		t.Fatalf("bypass rate = %.3f, want ~0.40", rate)
@@ -228,6 +229,76 @@ func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
 	}
 	if c.Contains(mk(1)) {
 		t.Fatal("least recently used line survived under LRU")
+	}
+}
+
+// Regression: a disabled (killed-unit) cache used to count every probe as
+// a miss, skewing post-fault hit rates; dead probes now have their own
+// counter and leave misses untouched.
+func TestDisabledProbesAreNotMisses(t *testing.T) {
+	c := newCache(0)
+	l := mem.Line(42)
+	c.Insert(l)
+	c.Probe(l)            // hit
+	c.Probe(mem.Line(43)) // miss
+	c.Disable()
+	for i := 0; i < 10; i++ {
+		if c.Probe(l) {
+			t.Fatal("disabled cache returned a hit")
+		}
+	}
+	h, m, _, _, dead := c.Stats()
+	if h != 1 || m != 1 {
+		t.Fatalf("hits/misses = %d/%d after disable, want 1/1 (dead probes leaked into misses)", h, m)
+	}
+	if dead != 10 {
+		t.Fatalf("deadProbes = %d, want 10", dead)
+	}
+	if c.Insert(mem.Line(44)) {
+		t.Fatal("disabled cache accepted an insert")
+	}
+}
+
+// Property: under LRU replacement and an installed audit, arbitrary
+// probe/insert interleavings keep every set's valid recency ranks a
+// permutation prefix {0..v-1} (auditSet reports otherwise).
+func TestLRUAuditCleanUnderRandomTraffic(t *testing.T) {
+	f := func(raw []uint16, probes []uint16) bool {
+		c := newLRUCache()
+		c.Audit = check.New()
+		for _, r := range raw {
+			c.Insert(mem.Line(r))
+		}
+		for _, p := range probes {
+			c.Probe(mem.Line(p))
+		}
+		if len(raw) == 0 {
+			return c.Audit.Ok()
+		}
+		return c.Audit.Ok() && c.Audit.Checks() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The audit actually detects corruption: clobber a rank and re-touch the set.
+func TestLRUAuditDetectsCorruptRank(t *testing.T) {
+	c := newLRUCache()
+	c.Audit = check.New()
+	sets := uint64(c.Sets())
+	mk := func(i int) mem.Line { return mem.Line(uint64(i)*sets + 3) }
+	for i := 0; i < c.Ways(); i++ {
+		c.Insert(mk(i))
+	}
+	if !c.Audit.Ok() {
+		t.Fatalf("clean fills flagged: %v", c.Audit.Violations())
+	}
+	base := int(uint64(mk(0))&c.setMask) * c.ways
+	c.lru[base] = c.lru[base+1] // duplicate rank = invalid permutation
+	c.Probe(mk(2))              // hit re-audits the set
+	if c.Audit.Ok() {
+		t.Fatal("audit missed a corrupted LRU rank")
 	}
 }
 
