@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet audit bench experiments figures clean
+.PHONY: all build test vet audit bench experiments figures serve serve-test clean
 
 all: vet test build
 
@@ -30,6 +30,17 @@ audit:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/abndpbench -quick -benchjson BENCH_$(shell date +%Y%m%d_%H%M%S).json >/dev/null
+
+# The HTTP simulation service (docs/SERVING.md): submit runs with
+# curl -X POST localhost:8080/v1/runs -d '{"app":"pr","design":"O"}'.
+serve:
+	$(GO) run ./cmd/abndpserve
+
+# The serving layer's concurrency tests (dedup, backpressure, deadlines,
+# drain) plus the harness regression tests they lean on, race-enabled.
+serve-test:
+	$(GO) test -race ./internal/serve/ ./client/
+	$(GO) test -race -run 'TestMemo|TestRunOne|TestValidateWorkers|TestTimeline' ./internal/bench/ ./internal/stats/
 
 # Regenerate every table and figure of the paper (text tables to stdout).
 experiments:

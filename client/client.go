@@ -1,0 +1,232 @@
+// Package client is a small Go client for the abndpserve HTTP API
+// (internal/serve, docs/SERVING.md): submit simulation jobs, long-poll for
+// results, fetch rendered experiments, and read service health. The wire
+// types are shared with the server, so a Submit body and a RunStatus
+// response are exactly what the service validates and emits.
+//
+// Backpressure is surfaced, not hidden: a full queue yields ErrQueueFull
+// (with the server's Retry-After hint) and a draining server yields
+// ErrDraining, so callers decide their own retry policy. SubmitWait is the
+// batteries-included path that retries queue-full and polls to completion.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"abndp/internal/serve"
+)
+
+// Re-exported wire types; the server package defines the schema.
+type (
+	RunRequest = serve.RunRequest
+	RunStatus  = serve.RunStatus
+	Health     = serve.Health
+)
+
+// ErrQueueFull reports a 429: the service's bounded job queue is full.
+// Errors.Is-match it and retry after the APIError's RetryAfter.
+var ErrQueueFull = errors.New("job queue full")
+
+// ErrDraining reports a 503: the service is shutting down and admits no
+// new jobs. Resubmit to another instance.
+var ErrDraining = errors.New("server draining")
+
+// APIError is any non-2xx service response.
+type APIError struct {
+	StatusCode int
+	Message    string
+	// RetryAfter is the server's backoff hint on 429 (zero otherwise).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("abndpserve: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// Unwrap maps the well-known statuses onto the sentinel errors.
+func (e *APIError) Unwrap() error {
+	switch e.StatusCode {
+	case http.StatusTooManyRequests:
+		return ErrQueueFull
+	case http.StatusServiceUnavailable:
+		return ErrDraining
+	}
+	return nil
+}
+
+// Client talks to one abndpserve instance.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTP is the transport; nil means a client with no overall timeout
+	// (requests are bounded by their contexts; long-polls outlive any
+	// fixed client timeout).
+	HTTP *http.Client
+}
+
+// New returns a Client for the service at baseURL.
+func New(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{}
+}
+
+// do issues one request and decodes a JSON body into out (unless nil).
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return apiError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// apiError builds an *APIError from a non-2xx response, preserving the
+// service's {"error": ...} message and any Retry-After hint.
+func apiError(resp *http.Response) error {
+	e := &APIError{StatusCode: resp.StatusCode}
+	var body struct {
+		Error string `json:"error"`
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(raw, &body) == nil && body.Error != "" {
+		e.Message = body.Error
+	} else {
+		e.Message = http.StatusText(resp.StatusCode)
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}
+
+// Submit enqueues one run. A dedup'd submission returns the existing job's
+// status (Dedup set); a full queue returns an error matching ErrQueueFull.
+func (c *Client) Submit(ctx context.Context, req RunRequest) (*RunStatus, error) {
+	var st RunStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/runs", &req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Run fetches one job's status. A positive wait long-polls: the server
+// holds the request until the job is terminal or the duration elapses.
+func (c *Client) Run(ctx context.Context, id string, wait time.Duration) (*RunStatus, error) {
+	path := "/v1/runs/" + id
+	if wait > 0 {
+		path += "?wait=" + wait.String()
+	}
+	var st RunStatus
+	if err := c.do(ctx, http.MethodGet, path, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Wait long-polls id until the job reaches a terminal state or ctx ends.
+func (c *Client) Wait(ctx context.Context, id string) (*RunStatus, error) {
+	for {
+		st, err := c.Run(ctx, id, 30*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		if st.Status == serve.StateDone || st.Status == serve.StateFailed {
+			return st, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+	}
+}
+
+// SubmitWait submits req, retrying queue-full rejections with the server's
+// Retry-After backoff, then waits for the job to finish. The job may still
+// have failed — check Status and Error on the returned RunStatus.
+func (c *Client) SubmitWait(ctx context.Context, req RunRequest) (*RunStatus, error) {
+	var st *RunStatus
+	for {
+		var err error
+		st, err = c.Submit(ctx, req)
+		if err == nil {
+			break
+		}
+		var ae *APIError
+		if !errors.As(err, &ae) || !errors.Is(err, ErrQueueFull) {
+			return nil, err
+		}
+		backoff := ae.RetryAfter
+		if backoff <= 0 {
+			backoff = time.Second
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return c.Wait(ctx, st.ID)
+}
+
+// Experiment renders one paper table/figure (e.g. "tab1", "fig6") on the
+// service and returns the text output.
+func (c *Client) Experiment(ctx context.Context, name string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/experiments/"+name, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return "", apiError(resp)
+	}
+	out, err := io.ReadAll(resp.Body)
+	return string(out), err
+}
+
+// Health reads /healthz. A draining server answers with its counters and
+// an error matching ErrDraining.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var h Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}

@@ -1,0 +1,106 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"abndp/internal/config"
+	"abndp/internal/serve"
+)
+
+// TestClientRoundTrip drives the client against an in-process service:
+// submit-and-wait a run, dedup a resubmission, read health, and map the
+// error statuses onto the typed errors.
+func TestClientRoundTrip(t *testing.T) {
+	base := config.Default()
+	base.UnitBytes = 16 << 20
+	s := serve.New(serve.Config{Workers: 2, Quick: true, Base: &base})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+
+	c := New(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	req := RunRequest{App: "pr", Design: "O"}
+	st, err := c.SubmitWait(ctx, req)
+	if err != nil {
+		t.Fatalf("SubmitWait: %v", err)
+	}
+	if st.Status != serve.StateDone || st.ResultHash == "" {
+		t.Fatalf("run finished %q hash %q (err %q)", st.Status, st.ResultHash, st.Error)
+	}
+
+	// Resubmitting the identical spec joins the completed job.
+	again, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if !again.Dedup || again.ID != st.ID || again.ResultHash != st.ResultHash {
+		t.Fatalf("resubmit not deduped onto %s: %+v", st.ID, again)
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	if h.Status != "ok" || h.Runs != 1 {
+		t.Fatalf("health %+v, want ok with 1 executed run", h)
+	}
+
+	// Error mapping: unknown experiment is a plain APIError 404 ...
+	if _, err := c.Experiment(ctx, "nope"); err == nil {
+		t.Fatal("unknown experiment did not error")
+	} else {
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown experiment error %v, want APIError 404", err)
+		}
+	}
+	// ... and a known one renders.
+	out, err := c.Experiment(ctx, "tab1")
+	if err != nil {
+		t.Fatalf("tab1: %v", err)
+	}
+	if !strings.Contains(out, "Table 1") {
+		t.Fatalf("tab1 output missing header:\n%s", out)
+	}
+
+	// A bad submission surfaces the server's message.
+	if _, err := c.Submit(ctx, RunRequest{App: "nope", Design: "O"}); err == nil {
+		t.Fatal("bad submit did not error")
+	} else if !strings.Contains(err.Error(), "unknown workload") {
+		t.Fatalf("bad submit error %v lacks the server message", err)
+	}
+}
+
+// TestErrQueueFull checks the sentinel mapping and Retry-After parsing
+// without needing to wedge a real queue.
+func TestErrQueueFull(t *testing.T) {
+	h := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":"job queue full (1 pending); retry later"}`))
+	}))
+	defer h.Close()
+	_, err := New(h.URL).Submit(context.Background(), RunRequest{App: "pr", Design: "O"})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err %v does not match ErrQueueFull", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.RetryAfter != 3*time.Second {
+		t.Fatalf("Retry-After not parsed: %+v", ae)
+	}
+}

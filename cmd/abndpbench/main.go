@@ -10,6 +10,7 @@
 //	abndpbench -serial         # one run at a time (same output, slower)
 //	abndpbench -benchjson f    # write harness wall-clock metrics to f
 //	abndpbench -check          # audit every run (invariants + dual-run hash)
+//	abndpbench -remote URL     # render on a running abndpserve instead
 //
 // Simulation runs are planned up front and executed on a worker pool
 // (GOMAXPROCS-wide by default); each run stays single-goroutine, so the
@@ -17,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"abndp/client"
 	"abndp/internal/bench"
 	"abndp/internal/obs"
 )
@@ -43,8 +46,23 @@ func main() {
 		memp   = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 		rdl    = flag.Duration("rundeadline", 0, "per-run wall-clock deadline; a run past it is recorded as hung and skipped (0 = the 10m default, negative disables)")
 		chk    = flag.Bool("check", false, "audit every run: invariant checker armed plus a dual-run determinism hash (roughly doubles simulation time; violations print and exit non-zero)")
+		remote = flag.String("remote", "", "fetch the experiments from a running abndpserve at this base URL (e.g. http://localhost:8080) instead of simulating locally")
 	)
 	flag.Parse()
+
+	// Validate the worker flags before doing any work: a negative -j or a
+	// contradictory -serial -j N is a 2-exit usage error, not a silent
+	// clamp (the same rule abndpserve applies).
+	workers, err := bench.ValidateWorkers(*jobs, *serial)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "abndpbench:", err)
+		os.Exit(2)
+	}
+
+	if *remote != "" {
+		runRemote(*remote, *exps)
+		return
+	}
 
 	if *srv != "" {
 		addr, err := obs.StartDebugServer(*srv)
@@ -73,11 +91,7 @@ func main() {
 	if *prog {
 		r.SetProgress(os.Stderr)
 	}
-	if *serial {
-		r.SetWorkers(1)
-	} else {
-		r.SetWorkers(*jobs)
-	}
+	r.SetWorkers(workers)
 	if *rdl != 0 {
 		r.SetRunDeadline(*rdl)
 	}
@@ -158,4 +172,39 @@ func main() {
 	if exit != 0 {
 		os.Exit(exit) // note: skips the profile-writer defers, like any failed run
 	}
+}
+
+// runRemote renders the requested experiments on a running abndpserve
+// instance instead of simulating locally: the service's warm cache pays
+// for each run once across every client.
+func runRemote(baseURL, exps string) {
+	var names []string
+	if exps == "all" {
+		names = append(names, bench.Experiments...)
+		names = append(names, bench.AblationExperiments...)
+		names = append(names, bench.ResilienceExperiments...)
+	} else {
+		for _, e := range strings.Split(exps, ",") {
+			names = append(names, strings.TrimSpace(e))
+		}
+	}
+	c := client.New(baseURL)
+	ctx := context.Background()
+	if h, err := c.Health(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "abndpbench: %s not healthy: %v\n", baseURL, err)
+		os.Exit(1)
+	} else {
+		fmt.Fprintf(os.Stderr, "abndpbench: rendering %d experiment(s) on %s (%d workers, %d runs cached)\n",
+			len(names), baseURL, h.Workers, h.Runs)
+	}
+	start := time.Now()
+	for _, name := range names {
+		out, err := c.Experiment(ctx, name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "abndpbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+	}
+	fmt.Printf("\ncompleted in %.1fs\n", time.Since(start).Seconds())
 }

@@ -314,6 +314,10 @@ func timeline(cfg abndp.Config, appName string, scale int) {
 			idx := b * (len(shades) - 1) / maxCores
 			row.WriteRune(shades[idx])
 		}
-		fmt.Printf("%-3s |%s| %d cycles\n", d, row.String(), res.Makespan)
+		// TimelineUtilization is guarded: a run short enough to finish
+		// before its first sample renders an empty row and 0.0% rather
+		// than NaN.
+		fmt.Printf("%-3s |%s| %d cycles, %.1f%% mean util\n",
+			d, row.String(), res.Makespan, 100*res.Stats.TimelineUtilization())
 	}
 }

@@ -1,0 +1,121 @@
+// Command abndpserve is the long-running simulation service: an HTTP/JSON
+// front end over the benchmark harness's warm memo cache and worker pool,
+// serving simulation jobs to many concurrent clients with request dedup,
+// bounded-queue backpressure, and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	abndpserve                        # serve on :8080
+//	abndpserve -addr :9000 -j 8       # 8 simulation workers
+//	abndpserve -quick                 # shrunken default workloads (demo)
+//	abndpserve -queue 128             # larger pending-job queue
+//	abndpserve -check                 # audit every simulation
+//	abndpserve -rundeadline 2m        # per-job wall-clock deadline
+//
+// Quick start (see docs/SERVING.md for the API):
+//
+//	abndpserve -quick &
+//	curl -s -X POST localhost:8080/v1/runs -d '{"app":"pr","design":"O"}'
+//	curl -s 'localhost:8080/v1/runs/run-000001?wait=60s'
+//	curl -s localhost:8080/v1/experiments/tab1
+//	curl -s localhost:8080/healthz
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"abndp/internal/bench"
+	"abndp/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "HTTP listen address")
+		jobs    = flag.Int("j", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
+		serial  = flag.Bool("serial", false, "one simulation at a time (equivalent to -j 1)")
+		queue   = flag.Int("queue", 64, "pending-job queue capacity (full queue returns 429)")
+		quick   = flag.Bool("quick", false, "shrink default workload sizings to smoke-test scale")
+		chk     = flag.Bool("check", false, "audit every simulation (invariants + dual-run hash; roughly doubles cost)")
+		rdl     = flag.Duration("rundeadline", 0, "per-job wall-clock deadline; a job past it fails (0 = the 10m default, negative disables)")
+		drainTO = flag.Duration("draintimeout", 2*time.Minute, "graceful-drain bound on SIGTERM/SIGINT")
+		bjson   = flag.String("benchjson", "", "write harness metrics to this JSON file on shutdown")
+	)
+	flag.Parse()
+
+	// The same fail-fast flag validation as abndpbench: a negative -j or a
+	// contradictory -serial -j N is an error, not a silent clamp.
+	workers, err := bench.ValidateWorkers(*jobs, *serial)
+	if err != nil {
+		fatal(err)
+	}
+	if *queue <= 0 {
+		fatal(fmt.Errorf("abndpserve: queue capacity must be positive (got %d)", *queue))
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:     workers,
+		QueueSize:   *queue,
+		RunDeadline: *rdl,
+		Quick:       *quick,
+		Check:       *chk,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(os.Stderr, "abndpserve: serving on http://%s (workers=%d queue=%d quick=%v check=%v)\n",
+		ln.Addr(), srv.Runner().Workers(), *queue, *quick, *chk)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		fatal(err)
+	}
+	stop()
+
+	// Graceful drain: close admissions first (new submissions see 503 /
+	// connection refused), then let queued and running jobs finish, bounded
+	// by -draintimeout.
+	fmt.Fprintln(os.Stderr, "abndpserve: draining (finishing queued and running jobs)")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(dctx) }()
+	_ = httpSrv.Shutdown(dctx)
+	if err := <-drained; err != nil {
+		fmt.Fprintf(os.Stderr, "abndpserve: drain timed out: %v\n", err)
+	}
+
+	// Flush harness metrics now that the pool is idle.
+	m := srv.Runner().Metrics()
+	if *bjson != "" {
+		if err := m.WriteJSON(*bjson); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "abndpserve: drained; %d simulations executed, %d failures\n",
+		m.Runs, len(m.Failures))
+	if err := <-serveErr; err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "abndpserve:", err)
+	os.Exit(1)
+}

@@ -45,6 +45,7 @@ func main() {
 		torus    = flag.Bool("torus", false, "use a torus instead of a mesh inter-stack network")
 		perfect  = flag.Bool("perfect-hints", false, "supply exact workload hints to the scheduler")
 		checkRun = flag.Bool("check", false, "audit the run: runtime invariants fail fast, then the metamorphic battery (exit 1 on violations)")
+		hashOut  = flag.Bool("hash", false, "also print result_hash=<fnv1a %016x> (compare against abndpserve's result_hash)")
 		faults   = flag.String("faults", "", "fault-injection spec, e.g. 'dram:0.001;slow:9:4;kill:70@25000;link:5:e@12000' (see docs/FAULTS.md)")
 		fseed    = flag.Int64("fault-seed", 0, "decorrelate the DRAM-error stream (overrides a seed: clause in -faults)")
 		trace    = flag.String("trace", "", "write a JSONL per-task completion trace to this file")
@@ -134,6 +135,9 @@ func main() {
 		}
 		if res != nil {
 			printSummary(res, cfg)
+			if *hashOut {
+				fmt.Printf("result_hash=%016x\n", abndp.ResultHash(res))
+			}
 		}
 		fmt.Println(rep.String())
 		if !rep.Ok() {
@@ -237,6 +241,9 @@ func main() {
 		f.Close()
 	}
 	printSummary(res, cfg)
+	if *hashOut {
+		fmt.Printf("result_hash=%016x\n", abndp.ResultHash(res))
+	}
 }
 
 // printSummary renders the end-of-run performance, traffic, and energy

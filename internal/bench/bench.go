@@ -46,8 +46,11 @@ type Runner struct {
 
 	// Crash isolation (guard.go): failed runs are recorded here and resolve
 	// to placeholder results so the rest of the sweep still renders.
+	// failByKey indexes failures by cache key (first failure wins) so
+	// result consumers can tell a cached sentinel from real data.
 	failMu      sync.Mutex
 	failures    []RunFailure
+	failByKey   map[string]int
 	runDeadline time.Duration
 	deadlineSet bool
 	simHook     func(runSpec) // test hook, called before each guarded run

@@ -35,6 +35,20 @@ func (r *Runner) CheckViolations() []CheckViolation {
 	return append([]CheckViolation(nil), r.checkViolations...)
 }
 
+// CheckViolationsFor returns the violations recorded for one cache key (a
+// copy), so the serving layer can report a job's own audit verdict.
+func (r *Runner) CheckViolationsFor(key string) []CheckViolation {
+	r.checkMu.Lock()
+	defer r.checkMu.Unlock()
+	var out []CheckViolation
+	for _, v := range r.checkViolations {
+		if v.Key == key {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 // CheckCounts returns how many runs were audited and how many invariant
 // evaluations they performed.
 func (r *Runner) CheckCounts() (runs, evals int64) {

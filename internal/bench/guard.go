@@ -46,6 +46,12 @@ func (r *Runner) effectiveDeadline() time.Duration {
 // reports it on the progress stream.
 func (r *Runner) recordFailure(f RunFailure) {
 	r.failMu.Lock()
+	if r.failByKey == nil {
+		r.failByKey = make(map[string]int)
+	}
+	if _, dup := r.failByKey[f.Key]; !dup {
+		r.failByKey[f.Key] = len(r.failures)
+	}
 	r.failures = append(r.failures, f)
 	r.failMu.Unlock()
 	r.progressf("  FAILED %s: %s\n", f.Key, f.Err)
@@ -56,6 +62,20 @@ func (r *Runner) Failures() []RunFailure {
 	r.failMu.Lock()
 	defer r.failMu.Unlock()
 	return append([]RunFailure(nil), r.failures...)
+}
+
+// FailureFor returns the recorded failure for one cache key. Callers that
+// share a memoized result (RunOne, the serving layer) use it to tell a
+// real result from the failure placeholder a crashed or hung run resolves
+// to — a cached sentinel must surface as a failed job, never as data.
+func (r *Runner) FailureFor(key string) (RunFailure, bool) {
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
+	i, ok := r.failByKey[key]
+	if !ok {
+		return RunFailure{}, false
+	}
+	return r.failures[i], true
 }
 
 // guardOutcome carries a guarded call's result across its goroutine.
@@ -120,7 +140,7 @@ func (r *Runner) safeSimulate(k string, spec runSpec) *ndp.Result {
 			if r.simHook != nil {
 				r.simHook(spec)
 			}
-			if r.checkRuns {
+			if r.checkRuns || spec.check {
 				return r.checkedSimulate(k, spec)
 			}
 			return simulate(spec)

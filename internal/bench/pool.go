@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"io"
 	"sort"
 	"sync"
@@ -20,12 +21,16 @@ var (
 	expRunsDone    = obs.Published("bench_runs_done")
 )
 
-// runSpec fully identifies one timing simulation.
+// runSpec fully identifies one timing simulation. check requests the
+// invariant audit for this one run even when the Runner-wide check mode is
+// off (the serving layer's per-run -check); it is not part of the cache
+// key, so a checked request for an already-memoized key reuses the result.
 type runSpec struct {
-	app string
-	d   config.Design
-	cfg config.Config
-	p   apps.Params
+	app   string
+	d     config.Design
+	cfg   config.Config
+	p     apps.Params
+	check bool
 }
 
 // funcSpec fully identifies one functional characterization run.
@@ -37,14 +42,25 @@ type funcSpec struct {
 // memo is a concurrency-safe, singleflight memoization cache: concurrent
 // do calls for the same key run fn exactly once and share the result. It
 // replaces the Runner's former unsynchronized map[string]*ndp.Result.
+//
+// Entries complete by closing their done channel, not via sync.Once: a
+// computation that panics removes its entry before the panic unwinds, so
+// waiters recompute instead of silently sharing the zero value a poisoned
+// Once would have pinned under the key forever, and context-aware callers
+// (the serving layer's per-job deadlines) can abandon a wait without
+// abandoning the computation.
 type memo[V any] struct {
 	mu sync.Mutex
 	m  map[string]*memoEntry[V]
 }
 
+// memoEntry is one key's computation. done is closed when the leading
+// caller finishes; valid distinguishes a completed value from a leader
+// that died in fn without producing one.
 type memoEntry[V any] struct {
-	once sync.Once
-	val  V
+	done  chan struct{}
+	val   V
+	valid bool
 }
 
 func newMemo[V any]() *memo[V] {
@@ -55,14 +71,52 @@ func newMemo[V any]() *memo[V] {
 // concurrent do for the same key blocks until the first computation
 // finishes, then shares its value.
 func (c *memo[V]) do(key string, fn func() V) V {
-	c.mu.Lock()
-	e := c.m[key]
-	if e == nil {
-		e = &memoEntry[V]{}
-		c.m[key] = e
+	v, _ := c.doCtx(context.Background(), key, fn)
+	return v
+}
+
+// doCtx is do with a context-bounded wait: when another caller is already
+// computing key, the wait aborts once ctx is done (returning ok=false and
+// the zero value) while the computation itself continues for the callers
+// still attached. The leading caller runs fn to completion regardless of
+// ctx — bounding the computation is the crash guard's job (guard.go).
+func (c *memo[V]) doCtx(ctx context.Context, key string, fn func() V) (v V, ok bool) {
+	for {
+		c.mu.Lock()
+		e := c.m[key]
+		if e == nil {
+			e = &memoEntry[V]{done: make(chan struct{})}
+			c.m[key] = e
+			c.mu.Unlock()
+			return c.lead(e, key, fn), true
+		}
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return v, false
+		}
+		if e.valid {
+			return e.val, true
+		}
+		// The leader died in fn without a value (and removed the entry on
+		// its way out); retry, becoming the new leader if still vacant.
 	}
-	c.mu.Unlock()
-	e.once.Do(func() { e.val = fn() })
+}
+
+// lead runs fn as key's leading caller. On a panic the entry is removed —
+// never cached invalid — before the panic unwinds to the caller.
+func (c *memo[V]) lead(e *memoEntry[V], key string, fn func() V) V {
+	defer func() {
+		if !e.valid {
+			c.mu.Lock()
+			delete(c.m, key)
+			c.mu.Unlock()
+		}
+		close(e.done)
+	}()
+	e.val = fn()
+	e.valid = true
 	return e.val
 }
 

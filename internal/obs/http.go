@@ -44,3 +44,17 @@ func Published(name string) *expvar.Int {
 	}
 	return expvar.NewInt(name)
 }
+
+// PublishedFunc registers a computed expvar gauge (e.g. the serving
+// layer's live queue depth) under name. expvar registration is
+// process-global and permanent, so on a duplicate name the first
+// registration wins and later calls are no-ops — re-creating a Server in
+// tests must not panic the expvar registry.
+func PublishedFunc(name string, f func() any) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(f))
+}

@@ -1,0 +1,434 @@
+// Package serve is the long-running simulation service behind
+// cmd/abndpserve: an HTTP/JSON front end over the bench harness's warm
+// singleflight memo cache, worker pool, and crash guard.
+//
+// A service process amortizes what the batch CLIs pay per invocation —
+// process startup, input generation, and cold result caches — across many
+// clients. Identical concurrent submissions deduplicate onto one
+// simulation via the canonical (app, design, config, params) cache keys;
+// completed results are served from memory for the life of the process.
+//
+// Concurrency and flow control:
+//
+//   - a bounded job queue with explicit backpressure: submissions beyond
+//     the queue capacity are rejected with 429 and a Retry-After header
+//     rather than buffered without bound;
+//   - a fixed worker pool (GOMAXPROCS-wide by default) executes jobs
+//     through bench.Runner.RunOne, so every simulation stays
+//     single-goroutine and deterministic;
+//   - per-job deadlines ride on the harness's crash-isolation guard: a
+//     panicking or deadline-exceeding run becomes a failed job carrying
+//     the recorded RunFailure, never a hung worker or a placeholder
+//     passed off as data;
+//   - graceful drain: Drain stops admissions (503), lets queued and
+//     running jobs finish, and returns when the pool is idle.
+//
+// See docs/SERVING.md for the API reference.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"abndp/internal/bench"
+	"abndp/internal/config"
+	"abndp/internal/ndp"
+	"abndp/internal/obs"
+)
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers is the simulation worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+	// QueueSize bounds the pending-job queue; 0 means 64. Submissions
+	// beyond it get 429 + Retry-After.
+	QueueSize int
+	// RunDeadline is the per-job wall-clock deadline enforced by the
+	// crash-isolation guard; 0 keeps the harness default (10m), negative
+	// disables it.
+	RunDeadline time.Duration
+	// Quick shrinks default workload sizings to smoke-test scale.
+	Quick bool
+	// Check audits every simulation (invariants + dual-run hash).
+	Check bool
+	// Base overrides the Table 1 base configuration (nil = config.Default()).
+	// Tests use it to shrink per-unit memory.
+	Base *config.Config
+}
+
+// Server is the simulation service. Create with New, mount Handler on an
+// http.Server, and Drain on shutdown.
+type Server struct {
+	cfg    Config
+	base   config.Config
+	runner *bench.Runner
+	mux    *http.ServeMux
+
+	mu       sync.Mutex
+	jobs     map[string]*job // by ID
+	byKey    map[string]*job // dedup: canonical cache key -> job
+	nextID   int64
+	draining bool
+	queue    chan *job
+
+	wg       sync.WaitGroup // worker pool
+	renderMu sync.Mutex     // serializes experiment renders
+
+	submitted, deduped, rejected, completed, failed atomic.Int64
+}
+
+// job is one tracked simulation. Mutable fields are guarded by Server.mu;
+// done closes when the job reaches a terminal state.
+type job struct {
+	id    string
+	spec  bench.Spec
+	key   string
+	check bool
+	done  chan struct{}
+
+	state              string
+	submitted, started time.Time
+	finished           time.Time
+	res                *ndp.Result
+	hash               uint64
+	errMsg             string
+	hung               bool
+	violations         int
+}
+
+// Process-wide service counters on /debug/vars. Registered once; multiple
+// Server instances (tests) accumulate into the same counters.
+var (
+	expSubmitted = obs.Published("serve_jobs_submitted")
+	expDeduped   = obs.Published("serve_jobs_deduped")
+	expRejected  = obs.Published("serve_jobs_rejected")
+	expCompleted = obs.Published("serve_jobs_completed")
+	expFailed    = obs.Published("serve_jobs_failed")
+)
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	base := config.Default()
+	if cfg.Base != nil {
+		base = *cfg.Base
+	}
+	r := bench.NewRunner(io.Discard)
+	r.SetQuick(cfg.Quick)
+	r.SetWorkers(cfg.Workers)
+	if cfg.RunDeadline != 0 {
+		r.SetRunDeadline(cfg.RunDeadline)
+	}
+	r.SetCheck(cfg.Check)
+
+	s := &Server{
+		cfg:    cfg,
+		base:   base,
+		runner: r,
+		jobs:   make(map[string]*job),
+		byKey:  make(map[string]*job),
+		queue:  make(chan *job, cfg.QueueSize),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleRun)
+	s.mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	obs.PublishedFunc("serve_queue_depth", func() any { return len(s.queue) })
+
+	workers := r.Workers()
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Runner exposes the warm harness runner (shutdown metrics, tests).
+func (s *Server) Runner() *bench.Runner { return s.runner }
+
+// worker executes queued jobs until the queue closes on drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.execute(j)
+	}
+}
+
+// execute runs one job through the warm memo cache and crash guard.
+func (s *Server) execute(j *job) {
+	s.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	s.mu.Unlock()
+
+	// Background suffices as the wait context: the computation — whether
+	// this job leads it or joins a leader for the same key — is bounded by
+	// the crash guard's per-run deadline, which releases every waiter with
+	// the recorded failure when it fires.
+	res, err := s.runner.RunOne(context.Background(), j.spec, j.check)
+	vs := len(s.runner.CheckViolationsFor(j.key))
+
+	s.mu.Lock()
+	j.finished = time.Now()
+	j.violations = vs
+	switch {
+	case err != nil:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		if re, ok := err.(*bench.RunError); ok {
+			j.hung = re.Failure.Hung
+			j.res = res // the marked placeholder, for completeness
+		}
+	default:
+		j.state = StateDone
+		j.res = res
+		j.hash = ndp.ResultHash(res)
+	}
+	s.mu.Unlock()
+	close(j.done)
+
+	if err != nil {
+		s.failed.Add(1)
+		expFailed.Add(1)
+	} else {
+		s.completed.Add(1)
+		expCompleted.Add(1)
+	}
+}
+
+// handleSubmit admits one job: dedup against in-flight and completed jobs
+// by canonical cache key, then a non-blocking enqueue with explicit 429
+// backpressure when the bounded queue is full.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	spec, err := s.buildSpec(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := spec.Key()
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.submitted.Add(1)
+	expSubmitted.Add(1)
+	if existing := s.byKey[key]; existing != nil {
+		st := s.statusLocked(existing)
+		s.mu.Unlock()
+		s.deduped.Add(1)
+		expDeduped.Add(1)
+		st.Dedup = true
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	j := &job{
+		spec:      spec,
+		key:       key,
+		check:     req.Check,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		expRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "job queue full (%d pending); retry later", cap(s.queue))
+		return
+	}
+	s.nextID++
+	j.id = fmt.Sprintf("run-%06d", s.nextID)
+	s.jobs[j.id] = j
+	s.byKey[key] = j
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// handleRun reports one job. ?wait=DURATION blocks until the job reaches
+// a terminal state or the duration (or the client) gives up — long-poll
+// support so clients need not busy-poll.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such run %q", r.PathValue("id"))
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "invalid wait duration %q: %v", waitStr, err)
+			return
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-j.done:
+		case <-t.C:
+		case <-r.Context().Done():
+		}
+	}
+	s.mu.Lock()
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleExperiment renders one paper table/figure on demand from the warm
+// cache. Renders are serialized (the planning pass mutates Runner state),
+// but overlap normal job execution freely.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.renderMu.Lock()
+	var buf bytes.Buffer
+	err := s.runner.RenderTo(&buf, name)
+	s.renderMu.Unlock()
+	if err != nil {
+		if strings.Contains(err.Error(), "unknown experiment") {
+			httpError(w, http.StatusNotFound, "%v", err)
+		} else {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleHealthz reports liveness plus the service counters. A draining
+// server answers 503 so load balancers stop routing to it.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	h := Health{
+		Status:     "ok",
+		Workers:    s.runner.Workers(),
+		QueueDepth: len(s.queue),
+		QueueCap:   cap(s.queue),
+		Submitted:  s.submitted.Load(),
+		Deduped:    s.deduped.Load(),
+		Rejected:   s.rejected.Load(),
+		Completed:  s.completed.Load(),
+		Failed:     s.failed.Load(),
+		Runs:       s.runner.RunsExecuted(),
+	}
+	code := http.StatusOK
+	if draining {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// statusLocked snapshots one job. Caller holds s.mu.
+func (s *Server) statusLocked(j *job) *RunStatus {
+	st := &RunStatus{
+		ID:              j.id,
+		Key:             j.key,
+		Status:          j.state,
+		App:             j.spec.App,
+		Design:          j.spec.Design.String(),
+		Error:           j.errMsg,
+		Hung:            j.hung,
+		CheckViolations: j.violations,
+		SubmittedAt:     rfc3339(j.submitted),
+		StartedAt:       rfc3339(j.started),
+		FinishedAt:      rfc3339(j.finished),
+	}
+	if j.state == StateDone {
+		st.ResultHash = fmt.Sprintf("%016x", j.hash)
+		res := j.res
+		st.Result = &RunSummary{
+			Makespan:      res.Makespan,
+			Seconds:       res.Seconds,
+			Tasks:         res.Tasks,
+			Steps:         res.Steps,
+			InterHops:     res.InterHops,
+			EnergyUJ:      res.Energy.Total() / 1e6,
+			Imbalance:     res.Stats.ImbalanceRatio(),
+			CacheHitRate:  res.Stats.CacheHitRate(),
+			Unrecoverable: res.Unrecoverable,
+		}
+	}
+	return st
+}
+
+// Drain stops admissions, closes the queue, and waits for queued and
+// running jobs to finish, bounded by ctx. It is idempotent; concurrent
+// calls all wait. On ctx expiry the pool keeps its in-flight work (the
+// crash guard bounds every run) but Drain returns ctx.Err().
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func rfc3339(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.Format(time.RFC3339Nano)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -125,6 +125,52 @@ func (s *System) UnitActiveCycles() []int64 {
 	return out
 }
 
+// TotalCores returns the number of cores across all units.
+func (s *System) TotalCores() int {
+	n := 0
+	for i := range s.Units {
+		n += len(s.Units[i].ActiveCycles)
+	}
+	return n
+}
+
+// TimelineSpan returns the cycles covered by the sampled utilization
+// timeline: samples times the sampling interval. It is 0 — never negative
+// or overflowed garbage — when sampling was off (empty Timeline) or the
+// interval is unset or non-positive.
+func (s *System) TimelineSpan() int64 {
+	if s.TimelineInterval <= 0 || len(s.Timeline) == 0 {
+		return 0
+	}
+	return int64(len(s.Timeline)) * s.TimelineInterval
+}
+
+// MeanBusyCores returns the mean sampled busy-core count over the
+// timeline, or 0 for a zero-sample run (a short run can finish before the
+// first sample fires; dividing by the empty sample count would be NaN).
+func (s *System) MeanBusyCores() float64 {
+	if len(s.Timeline) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, b := range s.Timeline {
+		sum += int64(b)
+	}
+	return float64(sum) / float64(len(s.Timeline))
+}
+
+// TimelineUtilization returns the mean sampled core utilization in [0, 1]:
+// mean busy cores over total cores. It is 0 for a zero-sample run, an
+// unset or non-positive sampling interval, or a system with no cores —
+// all of which would otherwise divide by zero.
+func (s *System) TimelineUtilization() float64 {
+	cores := s.TotalCores()
+	if cores == 0 || s.TimelineInterval <= 0 || len(s.Timeline) == 0 {
+		return 0
+	}
+	return s.MeanBusyCores() / float64(cores)
+}
+
 // CacheHitRate returns the system-wide DRAM-cache hit rate, or 0 with no
 // accesses.
 func (s *System) CacheHitRate() float64 {

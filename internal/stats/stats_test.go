@@ -156,3 +156,67 @@ func TestGeomeanIdentityProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTimelineZeroSamples is the regression test for the timeline-math
+// guards: a run whose utilization sampling recorded no samples (or whose
+// interval was never set) must yield clean zeros from every derived
+// metric, not NaN or a divide-by-zero panic.
+func TestTimelineZeroSamples(t *testing.T) {
+	check := func(name string, s *System) {
+		t.Helper()
+		for metric, v := range map[string]float64{
+			"MeanBusyCores":       s.MeanBusyCores(),
+			"TimelineUtilization": s.TimelineUtilization(),
+			"TimelineSpan":        float64(s.TimelineSpan()),
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v != 0 {
+				t.Errorf("%s: %s = %v, want 0", name, metric, v)
+			}
+		}
+	}
+
+	// Sampling never enabled: empty timeline, zero interval.
+	check("zero-sample run", NewSystem(4, 2))
+
+	// Interval set but the run finished before the first sample fired.
+	s := NewSystem(4, 2)
+	s.TimelineInterval = 500
+	check("interval without samples", s)
+
+	// Corrupt / legacy state: samples present but a non-positive interval.
+	s = NewSystem(4, 2)
+	s.Timeline = []int{3, 5}
+	s.TimelineInterval = 0
+	if v := s.TimelineSpan(); v != 0 {
+		t.Errorf("TimelineSpan with non-positive interval = %d, want 0", v)
+	}
+	if v := s.TimelineUtilization(); v != 0 {
+		t.Errorf("TimelineUtilization with non-positive interval = %v, want 0", v)
+	}
+
+	// A system with no cores at all must not divide by zero either.
+	empty := &System{Timeline: []int{1}, TimelineInterval: 10}
+	if v := empty.TimelineUtilization(); math.IsNaN(v) || math.IsInf(v, 0) || v != 0 {
+		t.Errorf("TimelineUtilization with no cores = %v, want 0", v)
+	}
+}
+
+// TestTimelineDerivedMetrics pins the happy-path math of the guarded
+// helpers.
+func TestTimelineDerivedMetrics(t *testing.T) {
+	s := NewSystem(2, 4) // 8 cores
+	s.Timeline = []int{8, 4, 0, 4}
+	s.TimelineInterval = 250
+	if got := s.TotalCores(); got != 8 {
+		t.Fatalf("TotalCores = %d, want 8", got)
+	}
+	if got := s.TimelineSpan(); got != 1000 {
+		t.Fatalf("TimelineSpan = %d, want 1000", got)
+	}
+	if got := s.MeanBusyCores(); got != 4 {
+		t.Fatalf("MeanBusyCores = %v, want 4", got)
+	}
+	if got := s.TimelineUtilization(); got != 0.5 {
+		t.Fatalf("TimelineUtilization = %v, want 0.5", got)
+	}
+}
