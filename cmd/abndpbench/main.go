@@ -10,6 +10,8 @@
 //	abndpbench -serial         # one run at a time (same output, slower)
 //	abndpbench -benchjson f    # write harness wall-clock metrics to f
 //	abndpbench -check          # audit every run (invariants + dual-run hash)
+//	abndpbench -engine parallel -ckpt  # checkpoint store + precompute pool
+//	abndpbench -warmsweep      # cold-vs-warm re-simulation speedup sweep
 //	abndpbench -remote URL     # render on a running abndpserve instead
 //
 // Simulation runs are planned up front and executed on a worker pool
@@ -29,6 +31,7 @@ import (
 
 	"abndp/client"
 	"abndp/internal/bench"
+	"abndp/internal/ckpt"
 	"abndp/internal/obs"
 )
 
@@ -47,6 +50,10 @@ func main() {
 		rdl    = flag.Duration("rundeadline", 0, "per-run wall-clock deadline; a run past it is recorded as hung and skipped (0 = the 10m default, negative disables)")
 		chk    = flag.Bool("check", false, "audit every run: invariant checker armed plus a dual-run determinism hash (roughly doubles simulation time; violations print and exit non-zero)")
 		remote = flag.String("remote", "", "fetch the experiments from a running abndpserve at this base URL (e.g. http://localhost:8080) instead of simulating locally")
+		engine = flag.String("engine", "serial", "simulation engine: 'serial' (golden default), 'checkpoint' (prefix-key store reuse), or 'parallel' (store + background precompute workers); results are byte-identical either way")
+		ckptOn = flag.Bool("ckpt", false, "shorthand for -engine checkpoint")
+		engj   = flag.Int("enginejobs", 0, "precompute workers per run for -engine parallel (0 = GOMAXPROCS/2, min 1)")
+		warm   = flag.Bool("warmsweep", false, "also run the cold-vs-warm re-simulation sweep (checkpoint/delta speedup measurement; result lands in -benchjson)")
 	)
 	flag.Parse()
 
@@ -97,9 +104,31 @@ func main() {
 	}
 	r.SetCheck(*chk)
 
+	if *ckptOn && *engine == "serial" {
+		*engine = "checkpoint"
+	}
+	switch *engine {
+	case "serial":
+	case "checkpoint":
+		r.SetCheckpointStore(ckpt.NewStore(0))
+	case "parallel":
+		r.SetCheckpointStore(ckpt.NewStore(0))
+		n := *engj
+		if n <= 0 {
+			if n = runtime.GOMAXPROCS(0) / 2; n < 1 {
+				n = 1
+			}
+		}
+		r.SetEngineParallel(n)
+	default:
+		fmt.Fprintf(os.Stderr, "abndpbench: unknown -engine %q (serial, checkpoint, parallel)\n", *engine)
+		os.Exit(2)
+	}
+
 	start := time.Now()
 	if *exps == "all" {
 		r.RunAll()
+	} else if *exps == "none" { // e.g. -exp none -warmsweep: just the sweep below
 	} else {
 		for _, e := range strings.Split(*exps, ",") {
 			if err := r.Run(strings.TrimSpace(e)); err != nil {
@@ -107,6 +136,9 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	if *warm {
+		r.RunWarmSweep()
 	}
 	if *svg != "" {
 		files, err := r.RenderSVGs(*svg)
@@ -135,7 +167,18 @@ func main() {
 		}
 		f.Close()
 	}
-	fmt.Printf("\ncompleted in %.1fs\n", time.Since(start).Seconds())
+	m := r.Metrics()
+	fmt.Printf("\ncompleted in %.1fs: %d runs, %.3g engine events, %.3g events/sec (%s engine)\n",
+		time.Since(start).Seconds(), m.Runs, float64(m.EventsTotal), m.EventsPerSec, m.Engine)
+	if m.Checkpoint != nil {
+		fmt.Printf("checkpoint store: %d hits, %d misses, %d inserts, %d shards, %.1f MiB\n",
+			m.Checkpoint.Hits, m.Checkpoint.Misses, m.Checkpoint.Inserts,
+			m.Checkpoint.Shards, float64(m.Checkpoint.Bytes)/(1<<20))
+	}
+	if ws := m.WarmSweep; ws != nil {
+		fmt.Printf("warm sweep: %.2fx speedup over %d points (cold %.2fs, prime %.2fs, warm %.2fs)\n",
+			ws.Speedup, ws.Points, ws.ColdSeconds, ws.PrimeSeconds, ws.WarmSeconds)
+	}
 
 	exit := 0
 

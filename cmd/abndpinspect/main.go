@@ -12,6 +12,7 @@
 //	abndpinspect trace -in tasks.jsonl      # per-unit summary of a -trace recording
 //	abndpinspect queues -in trace.json      # counter tracks of a -perfetto recording
 //	abndpinspect faults -spec "kill:70@25000;slow:9:4"  # validate + print a fault plan
+//	abndpinspect checkpoints -app pr -scale 10          # checkpoint-store shards of a knob sweep
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"strings"
 
 	"abndp"
+	"abndp/internal/ckpt"
 )
 
 func main() {
@@ -77,14 +79,59 @@ func main() {
 			fatal(fmt.Errorf("faults: -spec <fault spec> required (see docs/FAULTS.md)"))
 		}
 		showFaults(cfg, *spec)
+	case "checkpoints":
+		checkpoints(cfg, *appN, *design, *scale)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: abndpinspect {layout|camps|hops|heat|timeline|trace|queues|faults} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: abndpinspect {layout|camps|hops|heat|timeline|trace|queues|faults|checkpoints} [flags]")
 	os.Exit(2)
+}
+
+// checkpoints demonstrates the checkpoint/delta re-simulation store: it
+// runs a short HybridAlpha knob sweep with a store attached — every point
+// shares one prefix shard, so later points reuse the first point's
+// placement cost vectors — then lists the store's shards and counters
+// (the same numbers abndpbench reports in the metrics JSON; docs/PERF.md).
+func checkpoints(cfg abndp.Config, appName, designName string, scale int) {
+	d, err := abndp.ParseDesign(designName)
+	if err != nil {
+		fatal(err)
+	}
+	store := ckpt.NewStore(0)
+	alphas := []float64{0, 2, 4}
+	for _, a := range alphas {
+		c := cfg
+		c.HybridAlpha = a
+		sys, err := abndp.NewSystem(c, d)
+		if err != nil {
+			fatal(err)
+		}
+		sys.SetCheckpoint(store.Shard(appName + "|" + sys.Design.String() + "|" + sys.Cfg.PrefixKey()))
+		app, err := abndp.NewApp(appName, abndp.Params{Scale: scale})
+		if err != nil {
+			fatal(err)
+		}
+		sys.Run(app)
+	}
+	st := store.Stats()
+	fmt.Printf("checkpoint store after a %d-point HybridAlpha sweep of %s on design %s:\n",
+		len(alphas), appName, d)
+	fmt.Printf("  %d shard(s), %d entries, %.1f KiB of %.0f MiB cap\n",
+		st.Shards, st.Entries, float64(st.Bytes)/(1<<10), float64(st.CapBytes)/(1<<20))
+	fmt.Printf("  %d hits, %d misses, %d inserts, %d rejects, %d evictions\n\n",
+		st.Hits, st.Misses, st.Inserts, st.Rejects, st.Evictions)
+	for _, e := range store.Entries() {
+		fmt.Printf("  shard %s\n", e.Key)
+		fmt.Printf("    %d cost vectors, %.1f KiB, %d hits / %d misses (last use #%d)\n",
+			e.Entries, float64(e.Bytes)/(1<<10), e.Hits, e.Misses, e.LastUse)
+	}
+	if st.Hits == 0 {
+		fmt.Println("\n  note: no hits — this design's scheduler does not consult cost vectors")
+	}
 }
 
 // showFaults parses and validates a fault spec against the configured

@@ -47,6 +47,8 @@ func main() {
 		rdl     = flag.Duration("rundeadline", 0, "per-job wall-clock deadline; a job past it fails (0 = the 10m default, negative disables)")
 		drainTO = flag.Duration("draintimeout", 2*time.Minute, "graceful-drain bound on SIGTERM/SIGINT")
 		bjson   = flag.String("benchjson", "", "write harness metrics to this JSON file on shutdown")
+		ckptOn  = flag.Bool("ckpt", true, "share a checkpoint store across requests: jobs varying only late-binding scheduler knobs reuse earlier jobs' placement vectors (byte-identical results; docs/PERF.md)")
+		engJobs = flag.Int("enginejobs", 0, "precompute workers per simulation (parallel engine; 0 disables, needs -ckpt)")
 	)
 	flag.Parse()
 
@@ -61,11 +63,13 @@ func main() {
 	}
 
 	srv := serve.New(serve.Config{
-		Workers:     workers,
-		QueueSize:   *queue,
-		RunDeadline: *rdl,
-		Quick:       *quick,
-		Check:       *chk,
+		Workers:       workers,
+		QueueSize:     *queue,
+		RunDeadline:   *rdl,
+		Quick:         *quick,
+		Check:         *chk,
+		Checkpoint:    *ckptOn,
+		EngineWorkers: *engJobs,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"time"
 
 	"abndp"
 )
@@ -53,6 +54,8 @@ func main() {
 		perfetto = flag.String("perfetto", "", "write a Perfetto/Chrome trace-event JSON trace to this file")
 		metricsF = flag.String("metrics", "", "write phase-resolved observability metrics as CSV to this file")
 		sample   = flag.Int64("sample-interval", 1024, "counter-sampling interval in cycles for -perfetto")
+		engine   = flag.String("engine", "serial", "simulation engine: 'serial' (golden default), 'checkpoint' (placement-vector memoization), or 'parallel' (plus background precompute workers); results are byte-identical (docs/PERF.md)")
+		engJobs  = flag.Int("enginejobs", 0, "precompute workers for -engine parallel (0 = GOMAXPROCS/2)")
 		pprofSrv = flag.String("pprof", "", "serve pprof+expvar debug HTTP on this address (e.g. :6060)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
@@ -198,10 +201,12 @@ func main() {
 		}
 	}
 
-	res, err := abndp.RunAppObserved(app, d, cfg, o, tracer)
+	simStart := time.Now()
+	res, err := abndp.RunAppEngine(app, d, cfg, o, tracer, *engine, *engJobs)
 	if err != nil {
 		fatal(err)
 	}
+	simWall := time.Since(simStart).Seconds()
 	if closeTrace != nil {
 		if err := closeTrace(); err != nil {
 			fatal(fmt.Errorf("writing %s: %w", *trace, err))
@@ -241,6 +246,10 @@ func main() {
 		f.Close()
 	}
 	printSummary(res, cfg)
+	if simWall > 0 {
+		fmt.Printf("  engine        %s: %d events in %.2fs host time (%.3g events/sec)\n",
+			*engine, res.Events, simWall, float64(res.Events)/simWall)
+	}
 	if *hashOut {
 		fmt.Printf("result_hash=%016x\n", abndp.ResultHash(res))
 	}

@@ -69,7 +69,7 @@ func (a *AStar) Setup(sys *ndp.System) {
 	// same unit under modulo interleaving and fake perfect locality.
 	side := 1<<(a.p.Scale/2) - 1
 	a.w, a.h = side, side
-	a.g = graph.Grid(a.w, a.h, a.p.Seed, 8)
+	a.g = inputGrid(a.w, a.h, a.p.Seed, 8)
 	n := a.g.N
 	a.k = 32
 	a.vdata = sys.Space.NewArray("astar.vdata", n, 16, mem.Interleave)

@@ -43,7 +43,7 @@ func (a *BFS) setInput(g *graph.CSR) { a.input = g }
 func (a *BFS) Setup(sys *ndp.System) {
 	a.g = a.input
 	if a.g == nil {
-		a.g = graph.RMAT(a.p.Scale, a.p.Degree, a.p.Seed)
+		a.g = inputRMAT(a.p.Scale, a.p.Degree, a.p.Seed)
 	}
 	n := a.g.N
 	a.vdata = sys.Space.NewArray("bfs.vdata", n, 16, mem.Interleave)

@@ -1,6 +1,8 @@
 package apps
 
 import (
+	"fmt"
+
 	"abndp/internal/graph"
 	"abndp/internal/mem"
 	"abndp/internal/ndp"
@@ -62,9 +64,12 @@ func symmetrize(g *graph.CSR) *graph.CSR {
 func (a *CC) Setup(sys *ndp.System) {
 	base := a.input
 	if base == nil {
-		base = graph.RMAT(a.p.Scale, a.p.Degree, a.p.Seed)
+		base = inputRMAT(a.p.Scale, a.p.Degree, a.p.Seed)
+		a.g = inputDerived(fmt.Sprintf("sym|rmat|%d|%d|%d", a.p.Scale, a.p.Degree, a.p.Seed),
+			func() *graph.CSR { return symmetrize(base) })
+	} else {
+		a.g = symmetrize(base)
 	}
-	a.g = symmetrize(base)
 	n := a.g.N
 	a.vdata = sys.Space.NewArray("cc.vdata", n, 16, mem.Interleave)
 	a.adj = allocAdjacency(sys.Space, a.vdata, a.g, 4)

@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"fmt"
 	"math/rand"
 
 	"abndp/internal/graph"
@@ -69,9 +70,12 @@ func (a *GCN) setInput(g *graph.CSR) { a.input = g }
 func (a *GCN) Setup(sys *ndp.System) {
 	a.g = a.input
 	if a.g == nil {
-		a.g = graph.RMAT(a.p.Scale, a.p.Degree, a.p.Seed)
+		a.g = inputRMAT(a.p.Scale, a.p.Degree, a.p.Seed)
+		a.rev = inputDerived(fmt.Sprintf("rev|rmat|%d|%d|%d", a.p.Scale, a.p.Degree, a.p.Seed),
+			func() *graph.CSR { return graph.Reverse(a.g) })
+	} else {
+		a.rev = graph.Reverse(a.g)
 	}
-	a.rev = graph.Reverse(a.g)
 	n := a.g.N
 	a.feat = sys.Space.NewArray("gcn.feat", n, mem.LineSize, mem.Interleave)
 	a.adj = allocAdjacency(sys.Space, a.feat, a.rev, 4)

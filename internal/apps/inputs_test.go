@@ -1,0 +1,106 @@
+package apps
+
+import (
+	"sync"
+	"testing"
+
+	"abndp/internal/graph"
+)
+
+// TestInputCacheBitIdenticalGraphs: a cached graph must be bit-identical
+// to a freshly generated one — the property that makes enabling the cache
+// invisible to every result hash.
+func TestInputCacheBitIdenticalGraphs(t *testing.T) {
+	EnableInputCache(true)
+	defer EnableInputCache(false)
+
+	cached := inputRMAT(8, 6, 3)
+	again := inputRMAT(8, 6, 3)
+	if cached != again {
+		t.Fatal("second lookup did not return the cached instance")
+	}
+	fresh := graph.RMAT(8, 6, 3)
+	if !sameCSR(cached, fresh) {
+		t.Fatal("cached R-MAT differs from a fresh generation")
+	}
+	w := inputRMATWeighted(8, 6, 3, 8)
+	if sameCSR(cached, w) {
+		t.Fatal("weighted and unweighted signatures collided")
+	}
+	if hits, misses := InputCacheStats(); hits == 0 || misses == 0 {
+		t.Fatalf("stats hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestInputCacheDisabledGeneratesFresh(t *testing.T) {
+	EnableInputCache(false)
+	a := inputRMAT(8, 6, 3)
+	b := inputRMAT(8, 6, 3)
+	if a == b {
+		t.Fatal("cache off must generate fresh instances")
+	}
+	if !sameCSR(a, b) {
+		t.Fatal("generator is not deterministic")
+	}
+}
+
+func TestInputCacheEvictsOldest(t *testing.T) {
+	EnableInputCache(true)
+	defer EnableInputCache(false)
+	first := inputRMAT(6, 4, 1)
+	for i := 0; i < inputCacheCap; i++ { // push cap+ distinct keys
+		inputRMAT(6, 4, int64(100+i))
+	}
+	if again := inputRMAT(6, 4, 1); again == first {
+		t.Fatal("oldest entry survived past the cap")
+	}
+	inputCache.mu.Lock()
+	n := len(inputCache.entries)
+	inputCache.mu.Unlock()
+	if n > inputCacheCap {
+		t.Fatalf("cache holds %d entries, cap %d", n, inputCacheCap)
+	}
+}
+
+func TestInputCacheConcurrentSetupSafe(t *testing.T) {
+	EnableInputCache(true)
+	defer EnableInputCache(false)
+	var wg sync.WaitGroup
+	got := make([]*graph.CSR, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = inputRMAT(9, 6, 7)
+		}(i)
+	}
+	wg.Wait()
+	for _, g := range got[1:] {
+		if !sameCSR(g, got[0]) {
+			t.Fatal("concurrent lookups returned differing graphs")
+		}
+	}
+}
+
+func sameCSR(a, b *graph.CSR) bool {
+	if a.N != b.N || len(a.RowPtr) != len(b.RowPtr) || len(a.Col) != len(b.Col) ||
+		(a.W == nil) != (b.W == nil) || len(a.W) != len(b.W) {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for i := range a.Col {
+		if a.Col[i] != b.Col[i] {
+			return false
+		}
+	}
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,6 +1,8 @@
 package apps
 
 import (
+	"fmt"
+
 	"abndp/internal/graph"
 	"abndp/internal/mem"
 	"abndp/internal/ndp"
@@ -44,9 +46,12 @@ func (a *PageRank) setInput(g *graph.CSR) { a.input = g }
 func (a *PageRank) Setup(sys *ndp.System) {
 	a.g = a.input
 	if a.g == nil {
-		a.g = graph.RMAT(a.p.Scale, a.p.Degree, a.p.Seed)
+		a.g = inputRMAT(a.p.Scale, a.p.Degree, a.p.Seed)
+		a.rev = inputDerived(fmt.Sprintf("rev|rmat|%d|%d|%d", a.p.Scale, a.p.Degree, a.p.Seed),
+			func() *graph.CSR { return graph.Reverse(a.g) })
+	} else {
+		a.rev = graph.Reverse(a.g)
 	}
-	a.rev = graph.Reverse(a.g)
 	n := a.g.N
 	a.vdata = sys.Space.NewArray("pr.vdata", n, 16, mem.Interleave)
 	a.adj = allocAdjacency(sys.Space, a.vdata, a.rev, 4)

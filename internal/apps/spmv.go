@@ -47,7 +47,7 @@ func (a *SpMV) setInput(g *graph.CSR) { a.input = g }
 func (a *SpMV) Setup(sys *ndp.System) {
 	a.m = a.input
 	if a.m == nil {
-		a.m = graph.RMATWeighted(a.p.Scale, a.p.Degree, a.p.Seed, 4)
+		a.m = inputRMATWeighted(a.p.Scale, a.p.Degree, a.p.Seed, 4)
 	}
 	graph.EnsureWeights(a.m, a.p.Seed+1, 4)
 	n := a.m.N

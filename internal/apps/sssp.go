@@ -46,7 +46,7 @@ func (a *SSSP) setInput(g *graph.CSR) { a.input = g }
 func (a *SSSP) Setup(sys *ndp.System) {
 	a.g = a.input
 	if a.g == nil {
-		a.g = graph.RMATWeighted(a.p.Scale, a.p.Degree, a.p.Seed, 8)
+		a.g = inputRMATWeighted(a.p.Scale, a.p.Degree, a.p.Seed, 8)
 	}
 	graph.EnsureWeights(a.g, a.p.Seed+1, 8)
 	n := a.g.N

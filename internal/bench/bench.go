@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"abndp/internal/apps"
+	"abndp/internal/ckpt"
 	"abndp/internal/config"
 	"abndp/internal/host"
 	"abndp/internal/ndp"
@@ -69,7 +70,32 @@ type Runner struct {
 	planned  map[string]runSpec
 	plannedF map[string]funcSpec
 
+	// Checkpoint/delta engine wiring (speed.go in internal/ndp): with a
+	// store attached, every simulation gets the shard for its prefix key,
+	// so sweep points varying only late-binding knobs share placement
+	// work; engineWorkers > 0 additionally runs the parallel precompute
+	// pool inside each simulation (-engine=parallel).
+	store         *ckpt.Store
+	engineWorkers int
+
+	// Per-run wall-clock and engine event counts, keyed by cache key, plus
+	// per-experiment attribution (which runs each experiment referenced) —
+	// the source of the events_total / events_per_sec BENCH fields.
+	// statsMu also guards the unexported inline/pool second split inside
+	// metrics (workers write runStats; render attributes single-threaded).
+	statsMu  sync.Mutex
+	runStats map[string]runStat
+	expRuns  map[string]map[string]bool
+	curExp   string
+	inPool   bool // set around the pool phase (no render runs concurrently)
+
 	metrics Metrics
+}
+
+// runStat is one executed simulation's host-side cost.
+type runStat struct {
+	seconds float64
+	events  int64
 }
 
 // NewRunner builds a Runner writing its tables to w, using the Table 1
@@ -86,6 +112,34 @@ func NewRunner(w io.Writer) *Runner {
 
 // SetQuick shrinks workload sizes (for smoke tests of the harness itself).
 func (r *Runner) SetQuick(q bool) { r.quick = q }
+
+// SetCheckpointStore attaches a checkpoint store: every simulation runs
+// with the shard for its prefix key (app|design|config.PrefixKey), and the
+// workload-input cache is enabled process-wide, so sweep points that vary
+// only late-binding knobs skip regenerating inputs and recomputing
+// placement cost vectors. Nil detaches the store (the input cache stays as
+// the caller last set it). Results are byte-identical either way — see
+// docs/PERF.md and the parity tests.
+func (r *Runner) SetCheckpointStore(s *ckpt.Store) {
+	r.store = s
+	if s != nil {
+		apps.EnableInputCache(true)
+	}
+}
+
+// Store returns the attached checkpoint store, or nil.
+func (r *Runner) Store() *ckpt.Store { return r.store }
+
+// SetEngineParallel selects the parallel engine path for every simulation:
+// n background precompute workers per run (0 restores the golden serial
+// engine). Takes effect only with a checkpoint store attached — the
+// workers' output lives in the store's shards.
+func (r *Runner) SetEngineParallel(n int) {
+	if n < 0 {
+		n = 0
+	}
+	r.engineWorkers = n
+}
 
 // SetWorkers fixes the worker-pool size for simulation runs: 1 executes
 // every run inline and serially (the pre-parallel behavior), 0 restores
@@ -191,21 +245,114 @@ func (r *Runner) runCfg(spec runSpec) *ndp.Result {
 		}
 		return planResult
 	}
-	return r.cache.do(k, func() *ndp.Result {
+	res := r.cache.do(k, func() *ndp.Result {
 		r.metrics.addRun()
 		return r.safeSimulate(k, spec)
 	})
+	r.attributeRun(k)
+	return res
+}
+
+// attributeRun records that the experiment currently rendering referenced
+// the run under key k — the basis of per-experiment events_total.
+func (r *Runner) attributeRun(k string) {
+	if r.curExp == "" {
+		return
+	}
+	r.statsMu.Lock()
+	if r.expRuns == nil {
+		r.expRuns = make(map[string]map[string]bool)
+	}
+	set := r.expRuns[r.curExp]
+	if set == nil {
+		set = make(map[string]bool)
+		r.expRuns[r.curExp] = set
+	}
+	set[k] = true
+	r.statsMu.Unlock()
+}
+
+// timeExperiment times one experiment render (plan-phase replays are not
+// timed — they would append near-zero duplicate rows) and, on stop, fills
+// the row with the engine cost of every simulation the experiment
+// referenced: summed wall-clock, event count, and the resulting events/sec.
+// Runs shared between experiments are attributed to each experiment that
+// referenced them, so per-experiment rows can overlap; the Metrics-level
+// totals count every executed run exactly once.
+func (r *Runner) timeExperiment(name string) func() {
+	if r.planning {
+		return func() {}
+	}
+	r.curExp = name
+	start := time.Now()
+	return func() {
+		r.curExp = ""
+		row := ExperimentTiming{Name: name, Seconds: time.Since(start).Seconds()}
+		r.statsMu.Lock()
+		for k := range r.expRuns[name] {
+			if st, ok := r.runStats[k]; ok {
+				row.SimSeconds += st.seconds
+				row.EventsTotal += st.events
+			}
+		}
+		r.statsMu.Unlock()
+		if row.SimSeconds > 0 {
+			row.EventsPerSec = float64(row.EventsTotal) / row.SimSeconds
+		}
+		r.metrics.Experiments = append(r.metrics.Experiments, row)
+	}
+}
+
+// newSystem builds the System for one run, applying the Runner's
+// checkpoint/parallel engine settings.
+func (r *Runner) newSystem(spec runSpec) *ndp.System {
+	sys := ndp.NewSystem(spec.cfg, spec.d)
+	if r.store != nil {
+		sys.SetCheckpoint(r.store.Shard(spec.app + "|" + sys.Design.String() + "|" + sys.Cfg.PrefixKey()))
+		if r.engineWorkers > 0 {
+			sys.SetParallelWorkers(r.engineWorkers)
+		}
+	}
+	return sys
 }
 
 // simulate executes one run. It is the only place experiments build
 // systems, and is safe to call from worker goroutines: every System (and
-// its RNGs, stats, and engine) is private to the call.
-func simulate(spec runSpec) *ndp.Result {
+// its RNGs, stats, and engine) is private to the call, and the shared
+// checkpoint shard is concurrency-safe by design.
+func (r *Runner) simulate(k string, spec runSpec) *ndp.Result {
 	a, err := apps.New(spec.app, spec.p)
 	if err != nil {
 		panic(err)
 	}
-	return ndp.NewSystem(spec.cfg, spec.d).Run(a)
+	start := time.Now()
+	sys := r.newSystem(spec)
+	res := sys.Run(a)
+	r.noteRunStat(k, time.Since(start).Seconds(), res.Events)
+	if r.store != nil {
+		// Checkpoint path: recycle the tag arrays so the sweep's next
+		// System skips the dominant construction allocation.
+		sys.Recycle()
+	}
+	return res
+}
+
+// noteRunStat records one executed run's wall clock and event count. Runs
+// outside the pool phase (lazy render-time misses, serve jobs) also add to
+// the inline share of sim_seconds — the satellite fix for BENCH json
+// reporting sim_seconds 0 under a single worker.
+func (r *Runner) noteRunStat(k string, seconds float64, events int64) {
+	r.statsMu.Lock()
+	if r.runStats == nil {
+		r.runStats = make(map[string]runStat)
+	}
+	if _, dup := r.runStats[k]; !dup {
+		r.runStats[k] = runStat{seconds: seconds, events: events}
+	}
+	if !r.inPool {
+		r.metrics.simInline += seconds
+	}
+	r.statsMu.Unlock()
 }
 
 // functional characterizes a workload once for the host model.
@@ -278,7 +425,7 @@ func (r *Runner) render(name string) error {
 	if !r.planning {
 		r.progressf("render %s\n", name)
 	}
-	defer r.metrics.timeExperiment(name)()
+	defer r.timeExperiment(name)()
 	switch name {
 	case "tab1":
 		r.Table1()

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"abndp/internal/apps"
 	"abndp/internal/check"
@@ -70,9 +71,12 @@ func (r *Runner) recordCheckViolations(k string, vs []check.Violation) {
 }
 
 // checkedSimulate is simulate in check mode: the run executes audited, then
-// a plain rerun must hash identically. Like simulate it is safe on worker
-// goroutines — both Systems are private to the call, and the shared
-// violation list is mutex-protected.
+// a plain rerun must hash identically. The audited run carries the Runner's
+// checkpoint/parallel engine settings while the rerun is always the bare
+// golden serial engine, so the meta.determinism hash comparison doubles as
+// the checkpoint-and-parallel parity assertion CI relies on. Like simulate
+// it is safe on worker goroutines — both Systems are private to the call,
+// and the shared violation list is mutex-protected.
 func (r *Runner) checkedSimulate(k string, spec runSpec) *ndp.Result {
 	newApp := func() ndp.App {
 		a, err := apps.New(spec.app, spec.p)
@@ -81,10 +85,15 @@ func (r *Runner) checkedSimulate(k string, spec runSpec) *ndp.Result {
 		}
 		return a
 	}
-	sys := ndp.NewSystem(spec.cfg, spec.d)
+	sys := r.newSystem(spec)
 	c := check.New()
 	sys.SetChecker(c)
+	start := time.Now()
 	res := sys.Run(newApp())
+	r.noteRunStat(k, time.Since(start).Seconds(), res.Events)
+	if r.store != nil {
+		sys.Recycle() // checkpoint path: tag arrays feed the next audited run
+	}
 	plain := ndp.NewSystem(spec.cfg, spec.d).Run(newApp())
 
 	atomic.AddInt64(&r.checkedRuns, 1)

@@ -143,7 +143,7 @@ func (r *Runner) safeSimulate(k string, spec runSpec) *ndp.Result {
 			if r.checkRuns || spec.check {
 				return r.checkedSimulate(k, spec)
 			}
-			return simulate(spec)
+			return r.simulate(k, spec)
 		})
 }
 

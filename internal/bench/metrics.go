@@ -6,6 +6,9 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"abndp/internal/apps"
+	"abndp/internal/ckpt"
 )
 
 // Metrics records the harness's own performance — wall-clock per
@@ -13,15 +16,43 @@ import (
 // tracked release over release (BENCH_<date>.json files at the repo root,
 // written by `make bench` / `abndpbench -benchjson`).
 type Metrics struct {
-	Date         string             `json:"date,omitempty"`
-	GoMaxProcs   int                `json:"gomaxprocs"`
-	Workers      int                `json:"workers"`
-	Quick        bool               `json:"quick"`
-	Runs         int64              `json:"runs"`         // simulations executed (cache misses)
-	PlanSeconds  float64            `json:"plan_seconds"` // plan-pass replay time
-	SimSeconds   float64            `json:"sim_seconds"`  // parallel simulation phase
-	Experiments  []ExperimentTiming `json:"experiments"`  // per-experiment render wall-clock
+	Date        string  `json:"date,omitempty"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	Workers     int     `json:"workers"`
+	Quick       bool    `json:"quick"`
+	Runs        int64   `json:"runs"`         // simulations executed (cache misses)
+	PlanSeconds float64 `json:"plan_seconds"` // plan-pass replay time
+
+	// SimSeconds is all simulation wall-clock: the pool phase (simPool,
+	// elapsed time of the parallel warm-up) plus every run executed inline
+	// during render or serving (simInline). The split fixes the historical
+	// bug where a single-worker sweep skipped the pool phase and reported
+	// sim_seconds 0 even though every run executed inline.
+	SimSeconds   float64            `json:"sim_seconds"`
+	Experiments  []ExperimentTiming `json:"experiments"` // per-experiment render wall-clock
 	TotalSeconds float64            `json:"total_seconds"`
+
+	// Engine speed: total engine events executed across every simulated run
+	// (each run counted once, however many experiments referenced it) and
+	// the aggregate throughput events_total / sim_seconds.
+	EventsTotal  int64   `json:"events_total"`
+	EventsPerSec float64 `json:"events_per_sec"`
+
+	// Engine names the simulation path: "serial" (the golden default),
+	// "checkpoint" (store attached, no precompute workers), or
+	// "parallel" (store plus background precompute workers).
+	Engine string `json:"engine"`
+
+	// Checkpoint carries the store's counters when one is attached; the
+	// input-cache counters track workload graph reuse (both are part of the
+	// checkpoint/delta re-simulation path and 0/absent without it).
+	Checkpoint       *ckpt.Stats `json:"checkpoint,omitempty"`
+	InputCacheHits   int64       `json:"input_cache_hits,omitempty"`
+	InputCacheMisses int64       `json:"input_cache_misses,omitempty"`
+
+	// WarmSweep is the cold-vs-warm re-simulation experiment's outcome
+	// (RunWarmSweep), present only when that sweep ran.
+	WarmSweep *WarmSweepMetrics `json:"warm_sweep,omitempty"`
 
 	// Failures lists runs that panicked or hung (guard.go). A non-empty
 	// list means the corresponding table rows hold placeholder values.
@@ -42,28 +73,38 @@ type Metrics struct {
 	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
 	Mallocs         uint64 `json:"mallocs"`
 	NumGC           uint32 `json:"num_gc"`
+
+	// Internal accumulators (see SimSeconds). simPool is the elapsed
+	// wall-clock of the parallel pool phases; simInline sums the wall-clock
+	// of runs executed outside the pool. Guarded by Runner.statsMu.
+	simPool   float64
+	simInline float64
 }
 
-// ExperimentTiming is one experiment's render wall-clock. Under a worker
-// pool the simulations are pre-executed, so this is mostly formatting
-// time; with a single worker it includes the experiment's inline runs —
-// the serial baseline the sim_seconds phase is compared against.
+// ExperimentTiming is one experiment's render wall-clock plus the engine
+// cost of the simulations it referenced. Under a worker pool the runs are
+// pre-executed, so Seconds is mostly formatting time while SimSeconds sums
+// the (possibly shared) runs' own wall-clock; with a single worker the
+// inline runs are inside Seconds too.
 type ExperimentTiming struct {
-	Name    string  `json:"name"`
-	Seconds float64 `json:"seconds"`
+	Name         string  `json:"name"`
+	Seconds      float64 `json:"seconds"`
+	SimSeconds   float64 `json:"sim_seconds"`
+	EventsTotal  int64   `json:"events_total"`
+	EventsPerSec float64 `json:"events_per_sec"`
 }
 
 func (m *Metrics) addRun() { atomic.AddInt64(&m.Runs, 1) }
 
-// timeExperiment starts timing one experiment render; the returned func
-// stops the clock and appends the timing row.
-func (m *Metrics) timeExperiment(name string) func() {
-	start := time.Now()
-	return func() {
-		m.Experiments = append(m.Experiments, ExperimentTiming{
-			Name:    name,
-			Seconds: time.Since(start).Seconds(),
-		})
+// engineName names the Runner's simulation path for the metrics JSON.
+func (r *Runner) engineName() string {
+	switch {
+	case r.store == nil:
+		return "serial"
+	case r.engineWorkers > 0:
+		return "parallel"
+	default:
+		return "checkpoint"
 	}
 }
 
@@ -81,10 +122,29 @@ func (r *Runner) Metrics() Metrics {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	m.TotalAllocBytes, m.Mallocs, m.NumGC = ms.TotalAlloc, ms.Mallocs, ms.NumGC
+
+	r.statsMu.Lock()
+	m.SimSeconds = m.simPool + m.simInline
+	for _, st := range r.runStats {
+		m.EventsTotal += st.events
+	}
+	r.statsMu.Unlock()
+	if m.SimSeconds > 0 {
+		m.EventsPerSec = float64(m.EventsTotal) / m.SimSeconds
+	}
+	m.Engine = r.engineName()
+	if r.store != nil {
+		st := r.store.Stats()
+		m.Checkpoint = &st
+	}
+	m.InputCacheHits, m.InputCacheMisses = apps.InputCacheStats()
+
 	for _, e := range m.Experiments {
 		m.TotalSeconds += e.Seconds
 	}
-	m.TotalSeconds += m.PlanSeconds + m.SimSeconds
+	// Inline sim time is already inside the experiment render times; only
+	// the plan pass and the pool phase are additional wall-clock.
+	m.TotalSeconds += m.PlanSeconds + m.simPool
 	return m
 }
 

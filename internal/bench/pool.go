@@ -157,8 +157,14 @@ func (r *Runner) planAndExecute(names ...string) error {
 	r.metrics.PlanSeconds += time.Since(start).Seconds()
 
 	start = time.Now()
+	r.statsMu.Lock()
+	r.inPool = true
+	r.statsMu.Unlock()
 	r.executePlan(planned, plannedF)
-	r.metrics.SimSeconds += time.Since(start).Seconds()
+	r.statsMu.Lock()
+	r.inPool = false
+	r.statsMu.Unlock()
+	r.metrics.simPool += time.Since(start).Seconds()
 	return nil
 }
 

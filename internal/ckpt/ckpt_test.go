@@ -1,0 +1,184 @@
+package ckpt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"abndp/internal/mem"
+)
+
+func putVec(sh *Shard, lines []mem.Line, v float64) {
+	vec := make([]float64, 4)
+	for i := range vec {
+		vec[i] = v
+	}
+	sh.PutMemVec(HashLines(lines), append([]mem.Line(nil), lines...), vec)
+}
+
+func TestShardHitMiss(t *testing.T) {
+	st := NewStore(1 << 20)
+	sh := st.Shard("k")
+	lines := []mem.Line{1, 2, 3}
+	if got := sh.MemVec(HashLines(lines), lines); got != nil {
+		t.Fatalf("cold lookup returned %v, want nil", got)
+	}
+	putVec(sh, lines, 7)
+	got := sh.MemVec(HashLines(lines), lines)
+	if got == nil || got[0] != 7 {
+		t.Fatalf("warm lookup returned %v", got)
+	}
+	// Same shard key must return the same shard with the entry still there.
+	if st.Shard("k").MemVec(HashLines(lines), lines) == nil {
+		t.Fatal("re-fetched shard lost the entry")
+	}
+	s := st.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Inserts != 1 || s.Shards != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestCollisionIsMissNeverWrongValue forces two distinct line lists onto
+// the same hash: the lookup must chain past the mismatched entry (or miss),
+// never return the other hint's vector.
+func TestCollisionIsMissNeverWrongValue(t *testing.T) {
+	st := NewStore(1 << 20)
+	sh := st.Shard("k")
+	a := []mem.Line{1, 2}
+	b := []mem.Line{3, 4}
+	h := uint64(12345) // deliberately shared fake hash
+	sh.PutMemVec(h, append([]mem.Line(nil), a...), []float64{10})
+	if got := sh.MemVec(h, b); got != nil {
+		t.Fatalf("colliding lookup returned %v, want nil", got)
+	}
+	sh.PutMemVec(h, append([]mem.Line(nil), b...), []float64{20})
+	if got := sh.MemVec(h, a); got == nil || got[0] != 10 {
+		t.Fatalf("chained lookup for a returned %v", got)
+	}
+	if got := sh.MemVec(h, b); got == nil || got[0] != 20 {
+		t.Fatalf("chained lookup for b returned %v", got)
+	}
+}
+
+func TestDuplicatePutKeepsFirstAndBytesStable(t *testing.T) {
+	st := NewStore(1 << 20)
+	sh := st.Shard("k")
+	lines := []mem.Line{9, 9, 9}
+	putVec(sh, lines, 1)
+	before := st.Stats().Bytes
+	putVec(sh, lines, 1) // identical bits in practice; dedup keeps the first
+	s := st.Stats()
+	if s.Bytes != before {
+		t.Fatalf("duplicate insert changed bytes: %d -> %d", before, s.Bytes)
+	}
+	if s.Inserts != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestEvictionLRUAndRejection(t *testing.T) {
+	st := NewStore(300) // tiny: each entry charges len*8+len*8+64 bytes
+	old := st.Shard("old")
+	putVec(old, []mem.Line{1}, 1) // 16+64 = 80 bytes... entry is 8+32+64
+	hot := st.Shard("hot")
+	putVec(hot, []mem.Line{2}, 2)
+	// Filling hot past the cap must evict "old" (LRU), not "hot" itself.
+	for i := 0; i < 4; i++ {
+		putVec(hot, []mem.Line{mem.Line(10 + i)}, float64(i))
+	}
+	s := st.Stats()
+	if s.Evictions == 0 {
+		t.Fatalf("expected evictions, stats = %+v", s)
+	}
+	if st.Shard("hot").MemVec(HashLines([]mem.Line{2}), []mem.Line{2}) == nil &&
+		s.Rejects == 0 {
+		t.Fatalf("hot shard lost entries without any rejects, stats = %+v", s)
+	}
+	if old2 := st.Shard("old"); old2 == old {
+		t.Fatal("evicted shard was returned again instead of a fresh one")
+	}
+	// Rejection path: a single shard larger than the whole cap.
+	st2 := NewStore(100)
+	lone := st2.Shard("lone")
+	putVec(lone, []mem.Line{1}, 1)                // 104 bytes > cap → reject
+	putVec(lone, []mem.Line{1, 2, 3, 4, 5, 6}, 1) // way over → reject
+	if s2 := st2.Stats(); s2.Rejects == 0 || s2.Bytes != 0 {
+		t.Fatalf("lone-shard overflow stats = %+v", s2)
+	}
+}
+
+// TestPutOnEvictedShardIsDropped pins the stale-handle path: a caller still
+// holding a shard pointer after eviction may keep reading (misses) and
+// writing (drops), but must never corrupt store accounting.
+func TestPutOnEvictedShardIsDropped(t *testing.T) {
+	st := NewStore(400)
+	stale := st.Shard("stale")
+	putVec(stale, []mem.Line{1}, 1)
+	fresh := st.Shard("fresh")
+	for i := 0; i < 6; i++ { // push past cap → "stale" evicted
+		putVec(fresh, []mem.Line{mem.Line(100 + i)}, 1)
+	}
+	if st.Stats().Evictions == 0 {
+		t.Skip("cap did not force eviction; adjust sizes")
+	}
+	before := st.Stats().Bytes
+	putVec(stale, []mem.Line{2}, 2) // dropped: shard is evicted
+	if got := st.Stats().Bytes; got != before {
+		t.Fatalf("put on evicted shard changed bytes: %d -> %d", before, got)
+	}
+	if stale.MemVec(HashLines([]mem.Line{2}), []mem.Line{2}) != nil {
+		t.Fatal("put on evicted shard became visible")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	st := NewStore(16 << 20)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := st.Shard(fmt.Sprintf("k%d", w%2)) // two shards, shared
+			for i := 0; i < 500; i++ {
+				lines := []mem.Line{mem.Line(i % 50), mem.Line(w % 2)}
+				h := HashLines(lines)
+				if got := sh.MemVec(h, lines); got != nil {
+					if got[0] != float64(i%50) {
+						panic(fmt.Sprintf("wrong value %v for %v", got, lines))
+					}
+					continue
+				}
+				sh.PutMemVec(h, append([]mem.Line(nil), lines...), []float64{float64(i % 50)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := st.Stats()
+	if s.Shards != 2 || s.Entries == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestEntriesOrder(t *testing.T) {
+	st := NewStore(1 << 20)
+	st.Shard("a")
+	st.Shard("b")
+	st.Shard("a") // touch a again → most recent
+	es := st.Entries()
+	if len(es) != 2 || es[0].Key != "a" || es[1].Key != "b" {
+		t.Fatalf("entries = %+v", es)
+	}
+}
+
+func TestHashLinesDistinguishesOrderAndLength(t *testing.T) {
+	pairs := [][2][]mem.Line{
+		{{1, 2}, {2, 1}},
+		{{1}, {1, 0}},
+		{{}, {0}},
+	}
+	for _, p := range pairs {
+		if HashLines(p[0]) == HashLines(p[1]) {
+			t.Fatalf("hash collision between %v and %v", p[0], p[1])
+		}
+	}
+}

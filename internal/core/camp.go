@@ -76,14 +76,21 @@ func (m *CampMap) Camp(l mem.Line, g int) topology.UnitID {
 // one camp per non-home group — to dst and returns it. The home is always
 // the first entry. Order is deterministic.
 func (m *CampMap) AppendLocations(dst []topology.UnitID, l mem.Line) []topology.UnitID {
+	// Same hoisting as Nearest: one home lookup and one hash per line, not
+	// per group.
 	home := m.space.HomeOfLine(l)
 	dst = append(dst, home)
 	hg := m.topo.GroupOf(home)
+	h := splitmix64(uint64(l))
 	for g := 0; g < m.topo.Groups(); g++ {
 		if g == hg {
 			continue
 		}
-		dst = append(dst, m.Camp(l, g))
+		shift := 0
+		if m.skewed {
+			shift = (g * groupBits) % 48
+		}
+		dst = append(dst, m.topo.GroupUnits(g)[(h>>uint(shift))%m.perGroup])
 	}
 	return dst
 }
@@ -98,15 +105,25 @@ func (m *CampMap) Locations(l mem.Line) []topology.UnitID {
 // Ties break toward the home first, then the lowest unit ID, so results
 // are deterministic.
 func (m *CampMap) Nearest(n *noc.Model, l mem.Line, from topology.UnitID) (loc topology.UnitID, isHome bool) {
+	// This runs once per remote line transfer, so the per-line work Camp
+	// would redo every group iteration — home lookup, home group, address
+	// hash — is hoisted out of the loop. The per-group index arithmetic is
+	// Camp's own, so the two stay value-identical (audited by the camp
+	// cross-check test).
 	home := m.space.HomeOfLine(l)
 	best := home
 	bestLat := n.Latency(from, home)
 	hg := m.topo.GroupOf(home)
+	h := splitmix64(uint64(l))
 	for g := 0; g < m.topo.Groups(); g++ {
 		if g == hg {
 			continue
 		}
-		c := m.Camp(l, g)
+		shift := 0
+		if m.skewed {
+			shift = (g * groupBits) % 48
+		}
+		c := m.topo.GroupUnits(g)[(h>>uint(shift))%m.perGroup]
 		lat := n.Latency(from, c)
 		if lat < bestLat || (lat == bestLat && best != home && c < best) {
 			best, bestLat = c, lat

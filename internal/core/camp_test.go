@@ -65,6 +65,30 @@ func TestOneLocationPerGroup(t *testing.T) {
 	}
 }
 
+// AppendLocations and Nearest inline Camp's per-group index arithmetic
+// (hoisting the per-line hash out of their group loops); this cross-check
+// pins the inlined copies to Camp itself for both mapping modes.
+func TestLocationsMatchCampPerGroup(t *testing.T) {
+	for _, skewed := range []bool{true, false} {
+		e, cm := newEnv(skewed)
+		for i := 0; i < 2000; i++ {
+			l := mem.Line(i * 6151)
+			locs := cm.Locations(l)
+			for _, u := range locs {
+				if cm.Camp(l, e.topo.GroupOf(u)) != u {
+					t.Fatalf("skewed=%v line %d: location %d != Camp in group %d",
+						skewed, l, u, e.topo.GroupOf(u))
+				}
+			}
+			from := topology.UnitID(i % e.topo.Units())
+			near, _ := cm.Nearest(e.noc, l, from)
+			if cm.Camp(l, e.topo.GroupOf(near)) != near {
+				t.Fatalf("skewed=%v line %d: Nearest %d is not that group's camp", skewed, l, near)
+			}
+		}
+	}
+}
+
 func TestCampInHomeGroupIsHome(t *testing.T) {
 	e, cm := newEnv(true)
 	for l := mem.Line(0); l < 5000; l += 113 {

@@ -99,6 +99,52 @@ func (c *CostModel) MemCostLines(lines []mem.Line, u topology.UnitID) float64 {
 	return c.MemCost(cands, u)
 }
 
+// DeadFree reports whether no dead-unit mask is installed. Only then is
+// costmem a pure function of (lines, unit) — the precondition for caching
+// or precomputing MemCostVec results.
+func (c *CostModel) DeadFree() bool { return c.dead == nil }
+
+// MemCostVec returns costmem(t, u) for every unit u at once, bit-identical
+// to calling Candidates+MemCost per unit: the per-line minimum is exact
+// integer arithmetic, lines accumulate into an int64 sum in hint order,
+// and the float division happens once per unit at the end — the same
+// operations in the same order as MemCost.
+//
+// It must only be called when DeadFree() holds (it performs no dead-camp
+// filtering); callers fall back to MemCost under fault masks.
+func (c *CostModel) MemCostVec(lines []mem.Line) []float64 {
+	units := c.noc.Topology().Units()
+	vec := make([]float64, units)
+	if len(lines) == 0 {
+		return vec
+	}
+	sums := make([]int64, units)
+	var locBuf [16]topology.UnitID
+	for _, l := range lines {
+		locs := locBuf[:0]
+		if c.campAware {
+			locs = c.camps.AppendLocations(locs, l)
+		} else {
+			locs = append(locs, c.camps.Home(l))
+		}
+		for u := 0; u < units; u++ {
+			uid := topology.UnitID(u)
+			best := c.noc.Latency(uid, locs[0])
+			for _, loc := range locs[1:] {
+				if lat := c.noc.Latency(uid, loc) + c.campPenalty; lat < best {
+					best = lat
+				}
+			}
+			sums[u] += best
+		}
+	}
+	n := float64(len(lines))
+	for u := range vec {
+		vec[u] = float64(sums[u]) / n
+	}
+	return vec
+}
+
 // LoadCost returns costload(t, u) = W_u/mean(W) - 1 given the load vector
 // snapshot. A zero mean (fully idle system) yields 0 for every unit.
 func LoadCost(loads []float64, u topology.UnitID) float64 {

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"abndp/internal/mem"
+	"abndp/internal/topology"
+)
+
+// TestMemCostVecBitIdentical is the load-bearing equivalence behind the
+// checkpoint store and the parallel precompute pool (internal/ckpt,
+// internal/ndp): a precomputed vector entry must be bit-for-bit the value
+// MemCost would have produced inline, for every unit, or cached runs stop
+// being byte-identical to cold runs.
+func TestMemCostVecBitIdentical(t *testing.T) {
+	for _, campAware := range []bool{false, true} {
+		e, cm := newEnv(true)
+		model := NewCostModel(e.noc, cm, campAware)
+		hints := [][]mem.Line{
+			{7},
+			{3, 1 << 20, 7777777, 42424242},
+			{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13},
+			{1 << 29, 5, 1 << 29, 5}, // duplicate lines stay duplicated
+		}
+		for _, lines := range hints {
+			vec := model.MemCostVec(lines)
+			if len(vec) != e.topo.Units() {
+				t.Fatalf("vec length %d, want %d", len(vec), e.topo.Units())
+			}
+			var flat []topology.UnitID
+			var cands [][]topology.UnitID
+			flat, cands = model.Candidates(lines, flat, cands)
+			_ = flat
+			for u := 0; u < e.topo.Units(); u++ {
+				want := model.MemCost(cands, topology.UnitID(u))
+				if vec[u] != want {
+					t.Fatalf("campAware=%v lines=%v unit %d: vec %v != MemCost %v",
+						campAware, lines, u, vec[u], want)
+				}
+			}
+		}
+	}
+}
+
+func TestMemCostVecEmptyHint(t *testing.T) {
+	e, cm := newEnv(true)
+	model := NewCostModel(e.noc, cm, true)
+	vec := model.MemCostVec(nil)
+	for u, v := range vec {
+		if v != 0 {
+			t.Fatalf("empty hint: unit %d cost %v, want 0", u, v)
+		}
+	}
+	if len(vec) != e.topo.Units() {
+		t.Fatalf("vec length %d", len(vec))
+	}
+}

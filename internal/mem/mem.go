@@ -37,6 +37,7 @@ func AddrOf(l Line) Addr { return Addr(l << LineShift) }
 type Space struct {
 	units     int
 	unitBytes uint64
+	unitShift uint     // log2(unitBytes) when it is a power of two, else 0
 	cursor    []uint64 // next free offset within each unit's region
 }
 
@@ -46,11 +47,20 @@ func NewSpace(units int, unitBytes uint64) *Space {
 	if units <= 0 || unitBytes == 0 || unitBytes%LineSize != 0 {
 		panic(fmt.Sprintf("mem: invalid space (units=%d unitBytes=%d)", units, unitBytes))
 	}
-	return &Space{
+	s := &Space{
 		units:     units,
 		unitBytes: unitBytes,
 		cursor:    make([]uint64, units),
 	}
+	// Home lookup happens on every line access; when the region size is a
+	// power of two (every stock configuration) it is a shift, not a 64-bit
+	// division.
+	if unitBytes&(unitBytes-1) == 0 {
+		for uint64(1)<<s.unitShift != unitBytes {
+			s.unitShift++
+		}
+	}
+	return s
 }
 
 // Units returns the number of per-unit DRAM regions.
@@ -66,7 +76,12 @@ func (s *Space) TotalBytes() uint64 { return uint64(s.units) * s.unitBytes }
 // on an address outside the system's physical address space, which can only
 // result from a simulator bug.
 func (s *Space) HomeOf(a Addr) topology.UnitID {
-	u := uint64(a) / s.unitBytes
+	var u uint64
+	if s.unitShift != 0 {
+		u = uint64(a) >> s.unitShift
+	} else {
+		u = uint64(a) / s.unitBytes
+	}
 	if u >= uint64(s.units) {
 		panic(fmt.Sprintf("mem: address %#x outside the %d-byte address space",
 			uint64(a), s.TotalBytes()))

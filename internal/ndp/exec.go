@@ -19,26 +19,41 @@ func (s *System) Run(app App) *Result {
 	// if created by a loader there, and are placed by that unit's
 	// scheduler. Loading is slow relative to the exchange interval, so the
 	// load snapshots refresh periodically throughout the emission.
-	emitted := 0
+	//
+	// Emission is collected first and placed second. The placement loop
+	// below is byte-identical to placing inside the callback — apps only
+	// construct tasks during InitialTasks, so the Exchange/place
+	// interleaving over trueW is unchanged — and the split gives the
+	// parallel precompute pool the full hint set before the placement
+	// kernel starts consuming vectors.
+	var initial []*task.Task
 	app.InitialTasks(func(t *task.Task) {
 		t.TS = 0
 		t.Origin = s.Camps.Home(t.Hint.Lines[0])
-		if emitted%len(s.units) == 0 {
+		if s.par != nil {
+			s.par.submit(t.Hint.Lines)
+		}
+		initial = append(initial, t)
+	})
+	for i, t := range initial {
+		if i%len(s.units) == 0 {
 			s.Sched.Exchange(s.trueW)
 		}
-		emitted++
 		s.placeTask(t, t.Origin)
 		s.pending = append(s.pending, t)
 		if s.audit != nil {
 			s.auditSpawned++
 		}
-	})
+	}
 
 	s.curTS = -1
 	s.startTimestamp()
 	s.scheduleExchange()
 	s.scheduleUtilSample()
 	s.Engine.Run()
+	if s.par != nil {
+		s.par.close()
+	}
 	if !s.finished {
 		panic("ndp: simulation drained events with tasks outstanding")
 	}

@@ -1,0 +1,90 @@
+package ndp
+
+import (
+	"sync"
+
+	"abndp/internal/ckpt"
+	"abndp/internal/core"
+	"abndp/internal/mem"
+)
+
+// precompute is the worker pool behind the -engine=parallel path: it warms
+// the checkpoint shard with placement cost vectors ahead of the serial
+// event loop. The pool is advisory — every hint it computes, the serial
+// consumer could (and on a queue drop, does) compute inline, so the pool
+// can drop work freely and its scheduling is invisible to the simulation.
+//
+// Why this is race-free with zero fences in the hot loop:
+//
+//   - submit copies the hint's line slice before handing it over, so the
+//     engine goroutine may recycle the task (and its hint backing array)
+//     at the next barrier without ordering constraints;
+//   - workers share the CostModel read-only (MemCostVec touches only
+//     immutable state plus locals; the pool is never started under a
+//     dead mask, the one piece of mutable CostModel state);
+//   - all cross-goroutine hand-off goes through the shard's lock, and
+//     duplicate inserts are bit-identical by purity, so which side of a
+//     worker/consumer race lands first is unobservable.
+type precompute struct {
+	shard *ckpt.Shard
+	cost  *core.CostModel
+	ch    chan []mem.Line
+	wg    sync.WaitGroup
+
+	// Engine-goroutine-only state (submit and close are called from the
+	// simulation goroutine, never from workers).
+	closed    bool
+	submitted int64
+	dropped   int64
+}
+
+// precomputeQueueCap bounds the pending-hint queue. Deep enough to absorb
+// the initial-task burst of large workloads; when full, hints fall through
+// to inline evaluation rather than blocking the simulation.
+const precomputeQueueCap = 8192
+
+func newPrecompute(shard *ckpt.Shard, cost *core.CostModel, workers int) *precompute {
+	p := &precompute{shard: shard, cost: cost, ch: make(chan []mem.Line, precomputeQueueCap)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *precompute) worker() {
+	defer p.wg.Done()
+	for lines := range p.ch {
+		h := ckpt.HashLines(lines)
+		if p.shard.MemVec(h, lines) != nil {
+			continue // already present (prior run, another worker, or the consumer)
+		}
+		p.shard.PutMemVec(h, lines, p.cost.MemCostVec(lines))
+	}
+}
+
+// submit queues one hint for background precomputation, copying its lines.
+// Non-blocking: a full queue drops the hint (counted), never stalls the
+// event loop.
+func (p *precompute) submit(lines []mem.Line) {
+	if p.closed || len(lines) == 0 {
+		return
+	}
+	cp := append(make([]mem.Line, 0, len(lines)), lines...)
+	select {
+	case p.ch <- cp:
+		p.submitted++
+	default:
+		p.dropped++
+	}
+}
+
+// close stops the workers and waits for them to drain. Idempotent.
+func (p *precompute) close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.ch)
+	p.wg.Wait()
+}

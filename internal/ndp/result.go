@@ -16,6 +16,12 @@ type Result struct {
 	Tasks    int64
 	Steps    int64 // bulk-synchronous timestamps executed
 
+	// Events is the number of simulator events the engine executed — the
+	// denominator of events/sec throughput reporting. Deterministic per
+	// configuration, but a host-performance metric rather than a simulated
+	// outcome, so deliberately excluded from ResultHash.
+	Events int64
+
 	InterHops int64 // Figure 8 metric
 	Energy    energy.Breakdown
 
@@ -53,6 +59,7 @@ func (s *System) finalize() *Result {
 		Seconds:       secs,
 		Tasks:         s.Stats.Tasks,
 		Steps:         s.Stats.Steps,
+		Events:        s.Engine.Executed(),
 		InterHops:     s.Stats.TotalInterHops(),
 		Energy:        s.Stats.TotalEnergy(),
 		Unrecoverable: s.unrecoverable,

@@ -31,6 +31,12 @@ type Model struct {
 	// [from*units + to]. Task scoring evaluates it units x lines x camps
 	// times per task, so it must be a single indexed load.
 	latTable []int32
+	// pjTable is the per-bit energy factor of each unit pair, same layout.
+	// Energy is charged on every message, so the topology walk (same-stack
+	// test, Manhattan hops) is paid once here instead of per message. The
+	// factor is the exact parenthesized subexpression the direct formula
+	// multiplies by bits, so table lookups are bit-identical to it.
+	pjTable []float64
 }
 
 // New builds the interconnect model for a topology and configuration.
@@ -44,9 +50,11 @@ func New(topo *topology.Topology, cfg *config.Config) *Model {
 		interPJBit:  cfg.InterPJPerBit,
 	}
 	m.latTable = make([]int32, m.units*m.units)
+	m.pjTable = make([]float64, m.units*m.units)
 	for a := 0; a < m.units; a++ {
 		for b := 0; b < m.units; b++ {
 			m.latTable[a*m.units+b] = int32(m.latency(topology.UnitID(a), topology.UnitID(b)))
+			m.pjTable[a*m.units+b] = m.pjPerBit(topology.UnitID(a), topology.UnitID(b))
 		}
 	}
 	return m
@@ -79,15 +87,21 @@ func (m *Model) latency(from, to topology.UnitID) int64 {
 // Energy returns the energy in picojoules of moving a message of the given
 // size from one unit to another.
 func (m *Model) Energy(from, to topology.UnitID, bytes int) float64 {
+	return float64(bytes*8) * m.pjTable[int(from)*m.units+int(to)]
+}
+
+// pjPerBit is the per-bit energy factor Energy multiplies by the message's
+// bit count: zero to self, one crossbar within a stack, crossbar at each
+// end plus mesh hops across stacks.
+func (m *Model) pjPerBit(from, to topology.UnitID) float64 {
 	if from == to {
 		return 0
 	}
-	bits := float64(bytes * 8)
 	if m.topo.SameStack(from, to) {
-		return bits * m.intraPJBit
+		return m.intraPJBit
 	}
 	hops := float64(m.topo.InterHops(from, to))
-	return bits * (2*m.intraPJBit + hops*m.interPJBit)
+	return 2*m.intraPJBit + hops*m.interPJBit
 }
 
 // AuditTable evaluates the structural invariants of the precomputed
@@ -120,6 +134,11 @@ func (m *Model) AuditTable(c *check.Checker) {
 			if floor := int64(m.Hops(ua, ub)) * m.interCycles; got < floor {
 				c.Violationf("noc.hopfloor", -1,
 					"latency %d->%d = %d below its %d mesh-hop floor %d", a, b, got, m.Hops(ua, ub), floor)
+				return
+			}
+			if e := m.pjTable[a*m.units+b]; e != m.pjPerBit(ua, ub) {
+				c.Violationf("noc.pjtable", -1,
+					"energy table [%d->%d] = %g, recomputed %g", a, b, e, m.pjPerBit(ua, ub))
 				return
 			}
 		}

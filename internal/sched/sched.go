@@ -78,6 +78,15 @@ type Scheduler struct {
 	dead  []bool
 	rates []float64
 
+	// costVec, when non-nil, supplies a precomputed costmem vector for a
+	// task (vec[u] bit-identical to cost.MemCost for every unit u, per
+	// core.MemCostVec) or nil to fall back to inline evaluation. It is the
+	// checkpoint store's entry point into placement (internal/ckpt) and is
+	// consulted only while no dead-unit mask is installed — under faults
+	// costmem stops being a pure function of the hint and every placement
+	// reverts to the inline path.
+	costVec func(t *task.Task) []float64
+
 	// scoreHook, when non-nil, receives the score breakdown of every
 	// placement decision: the memory (remote-access cost) term and the
 	// load term of the unit the task was actually sent to. Nil by default;
@@ -176,6 +185,25 @@ func (s *Scheduler) NearestLive(u topology.UnitID) topology.UnitID {
 	return best
 }
 
+// SetCostVecSource installs (or, with nil, removes) the precomputed
+// costmem-vector source. The source must return either nil (miss — the
+// scheduler evaluates costs inline) or a vector whose entries are
+// bit-identical to what the inline path would compute; under that contract
+// installing a source never changes which unit Place returns, which the
+// checkpoint parity tests enforce end to end via result hashes.
+func (s *Scheduler) SetCostVecSource(f func(t *task.Task) []float64) {
+	s.costVec = f
+}
+
+// memVecFor resolves the precomputed cost vector for t, or nil when the
+// inline path must run (no source, source miss, or a dead mask in force).
+func (s *Scheduler) memVecFor(t *task.Task) []float64 {
+	if s.costVec == nil || s.dead != nil {
+		return nil
+	}
+	return s.costVec(t)
+}
+
 // SetScoreHook installs (or, with nil, removes) the per-decision score
 // breakdown callback. Observability only: the hook must not influence
 // placement, and installing it never changes which unit Place returns.
@@ -247,6 +275,19 @@ func (s *Scheduler) Place(t *task.Task, origin topology.UnitID) topology.UnitID 
 }
 
 func (s *Scheduler) placeLowestDistance(t *task.Task) (topology.UnitID, float64) {
+	if vec := s.memVecFor(t); vec != nil {
+		// Precomputed path: same tie-break (main element's home first, then
+		// strict improvement in unit order) over bit-identical costs. No
+		// dead-mask handling — memVecFor returns nil whenever a mask is set.
+		best := s.camps.Home(t.Hint.Lines[0])
+		bestCost := vec[best]
+		for u := 0; u < s.units; u++ {
+			if c := vec[u]; c < bestCost {
+				best, bestCost = topology.UnitID(u), c
+			}
+		}
+		return best, bestCost
+	}
 	s.flatBuf, s.candBuf = s.cost.Candidates(t.Hint.Lines, s.flatBuf, s.candBuf)
 	// Ties break toward the main element's home: with symmetric data many
 	// units score equally, and a fixed lowest-ID tie-break would pile
@@ -271,7 +312,10 @@ func (s *Scheduler) placeLowestDistance(t *task.Task) (topology.UnitID, float64)
 }
 
 func (s *Scheduler) placeHybrid(t *task.Task, origin topology.UnitID) (topology.UnitID, float64, float64) {
-	s.flatBuf, s.candBuf = s.cost.Candidates(t.Hint.Lines, s.flatBuf, s.candBuf)
+	vec := s.memVecFor(t)
+	if vec == nil {
+		s.flatBuf, s.candBuf = s.cost.Candidates(t.Hint.Lines, s.flatBuf, s.candBuf)
+	}
 
 	// Effective load view of this origin: the snapshot plus what it has
 	// forwarded since, amplified by the unit count as a mean-field
@@ -333,6 +377,21 @@ func (s *Scheduler) placeHybrid(t *task.Task, origin topology.UnitID) (topology.
 	best := s.camps.Home(t.Hint.Lines[0])
 	if s.dead != nil {
 		best = s.NearestLive(best)
+	}
+	if vec != nil {
+		// Precomputed path (only reachable with no dead mask): identical
+		// argmin over bit-identical mem costs and the same load terms.
+		bestMem := vec[best]
+		bestLoad := s.hybridB * (s.loadBuf[best]/mean - 1)
+		bestScore := bestMem + bestLoad
+		for u := 0; u < s.units; u++ {
+			mem := vec[u]
+			load := s.hybridB * (s.loadBuf[u]/mean - 1)
+			if score := mem + load; score < bestScore {
+				best, bestScore, bestMem, bestLoad = topology.UnitID(u), score, mem, load
+			}
+		}
+		return best, bestMem, bestLoad
 	}
 	bestMem := s.cost.MemCost(s.candBuf, best)
 	bestLoad := s.hybridB * (s.loadBuf[best]/mean - 1)

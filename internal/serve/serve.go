@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"abndp/internal/bench"
+	"abndp/internal/ckpt"
 	"abndp/internal/config"
 	"abndp/internal/ndp"
 	"abndp/internal/obs"
@@ -71,6 +72,14 @@ type Config struct {
 	// Base overrides the Table 1 base configuration (nil = config.Default()).
 	// Tests use it to shrink per-unit memory.
 	Base *config.Config
+	// Checkpoint attaches a checkpoint store shared across every request the
+	// server handles: jobs that vary only late-binding scheduler knobs reuse
+	// the placement cost vectors of earlier jobs with the same prefix key
+	// (docs/PERF.md). Results stay byte-identical.
+	Checkpoint bool
+	// EngineWorkers > 0 additionally runs that many precompute workers
+	// inside each simulation (the parallel engine; needs Checkpoint).
+	EngineWorkers int
 }
 
 // Server is the simulation service. Create with New, mount Handler on an
@@ -139,6 +148,10 @@ func New(cfg Config) *Server {
 		r.SetRunDeadline(cfg.RunDeadline)
 	}
 	r.SetCheck(cfg.Check)
+	if cfg.Checkpoint {
+		r.SetCheckpointStore(ckpt.NewStore(0))
+		r.SetEngineParallel(cfg.EngineWorkers)
+	}
 
 	s := &Server{
 		cfg:    cfg,
@@ -155,6 +168,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	obs.PublishedFunc("serve_queue_depth", func() any { return len(s.queue) })
+	if st := r.Store(); st != nil {
+		obs.PublishedFunc("serve_ckpt_hits", func() any { return st.Stats().Hits })
+		obs.PublishedFunc("serve_ckpt_misses", func() any { return st.Stats().Misses })
+		obs.PublishedFunc("serve_ckpt_bytes", func() any { return st.Stats().Bytes })
+		obs.PublishedFunc("serve_ckpt_shards", func() any { return st.Stats().Shards })
+	}
 
 	workers := r.Workers()
 	s.wg.Add(workers)

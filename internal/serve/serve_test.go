@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"abndp"
+	"abndp/internal/apps"
 	"abndp/internal/config"
 	"abndp/internal/ndp"
 )
@@ -431,4 +432,64 @@ func TestWaitParam(t *testing.T) {
 		t.Fatalf("job finished under a held gate: %q", st.Status)
 	}
 	release.Do(func() { close(gate) })
+}
+
+// TestCheckpointStoreSharedAcrossJobs: with Config.Checkpoint set, jobs
+// that vary only late-binding scheduler knobs (here the hybrid alpha)
+// share one prefix shard — the second job must hit the first job's cost
+// vectors — while every result hash stays identical to a bare direct run.
+func TestCheckpointStoreSharedAcrossJobs(t *testing.T) {
+	base := config.Default()
+	base.UnitBytes = 16 << 20
+	s, ts := newTestServer(t, Config{Workers: 1, Base: &base, Checkpoint: true})
+	defer apps.EnableInputCache(false)
+
+	store := s.Runner().Store()
+	if store == nil {
+		t.Fatal("checkpoint server has no store")
+	}
+
+	submit := func(alpha float64) *RunStatus {
+		body := fmt.Sprintf(
+			`{"app":"pr","design":"O","params":{"scale":8,"degree":6,"seed":42},"config":{"alpha":%g}}`,
+			alpha)
+		st, resp := post(t, ts, body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit alpha=%g: status %d (%s)", alpha, resp.StatusCode, st.Error)
+		}
+		st = await(t, ts, st.ID)
+		if st.Status != StateDone {
+			t.Fatalf("alpha=%g finished %q (err %q)", alpha, st.Status, st.Error)
+		}
+		return st
+	}
+
+	first := submit(1)
+	afterFirst := store.Stats()
+	if afterFirst.Inserts == 0 {
+		t.Fatal("first job inserted nothing into the store")
+	}
+	second := submit(3)
+	afterSecond := store.Stats()
+	if afterSecond.Shards != 1 {
+		t.Fatalf("alpha variants split into %d shards, want 1 (prefix key broke)", afterSecond.Shards)
+	}
+	if afterSecond.Hits <= afterFirst.Hits {
+		t.Fatalf("second job reused nothing: hits %d -> %d", afterFirst.Hits, afterSecond.Hits)
+	}
+
+	for _, c := range []struct {
+		alpha float64
+		got   string
+	}{{1, first.ResultHash}, {3, second.ResultHash}} {
+		cfg := base
+		cfg.HybridAlpha = c.alpha
+		direct, err := abndp.Run("pr", abndp.DesignO, cfg, abndp.Params{Scale: 8, Degree: 6, Seed: 42})
+		if err != nil {
+			t.Fatalf("direct run: %v", err)
+		}
+		if want := fmt.Sprintf("%016x", ndp.ResultHash(direct)); c.got != want {
+			t.Fatalf("alpha=%g: service hash %s != direct hash %s", c.alpha, c.got, want)
+		}
+	}
 }

@@ -22,10 +22,11 @@ import "abndp/internal/check"
 // number), so the pop order — and therefore every simulation result — is
 // identical to the previous container/heap implementation.
 type Engine struct {
-	now     int64
-	seq     uint64
-	stopped bool
-	pq      []event
+	now      int64
+	seq      uint64
+	executed int64
+	stopped  bool
+	pq       []event
 
 	// Probe, when non-nil, is invoked before each executed event with the
 	// event's timestamp and the number of events still pending — the
@@ -66,6 +67,12 @@ func (e *Engine) Now() int64 { return e.now }
 
 // Pending reports the number of events waiting in the queue.
 func (e *Engine) Pending() int { return len(e.pq) }
+
+// Executed returns the number of events executed so far — the engine's
+// throughput denominator for events/sec reporting. It is part of the
+// simulation's deterministic state (identical runs execute identical event
+// counts) but deliberately not part of any result hash.
+func (e *Engine) Executed() int64 { return e.executed }
 
 // At schedules fn to run at absolute cycle t. Scheduling in the past (t <
 // Now) is clamped to the current time, preserving FIFO order among
@@ -182,6 +189,7 @@ func (e *Engine) Step() bool {
 		e.lastSeq = ev.seq
 	}
 	e.now = ev.at
+	e.executed++
 	if e.Probe != nil {
 		e.Probe(ev.at, len(e.pq))
 	}

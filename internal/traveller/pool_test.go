@@ -1,0 +1,168 @@
+package traveller
+
+import (
+	"testing"
+
+	"abndp/internal/check"
+	"abndp/internal/config"
+	"abndp/internal/mem"
+)
+
+// A recycled cache must be observationally identical to a fresh one: same
+// probe/insert outcomes, same stats, nothing resident. This is the parity
+// contract the checkpoint path's byte-identical guarantee leans on.
+func TestTagPoolRecycledCacheIsIdenticalToFresh(t *testing.T) {
+	DrainPool()
+	cfg := config.Default()
+	cfg.UnitBytes = 1 << 20 // small cache so the set pressure is real
+	cfg.BypassProb = 0.25
+
+	run := func(c *Cache) (hits, misses, inserts, bypasses int64) {
+		for i := 0; i < 5000; i++ {
+			l := mem.Line(i * 37 % 911)
+			if !c.Probe(l) {
+				c.Insert(l)
+			}
+			if i%1000 == 999 {
+				c.InvalidateAll()
+			}
+		}
+		h, m, ins, byp, _ := c.Stats()
+		return h, m, ins, byp
+	}
+
+	fresh := New(&cfg, 7)
+	fh, fm, fi, fb := run(fresh)
+
+	// Dirty a same-geometry cache with a different access stream, release
+	// it, and replay the reference stream on the recycled arrays.
+	dirty := New(&cfg, 99)
+	for i := 0; i < 3000; i++ {
+		dirty.Insert(mem.Line(i))
+	}
+	dirty.Release()
+
+	recycled := New(&cfg, 7)
+	if recycled.Occupancy() != 0 {
+		t.Fatalf("recycled cache starts with occupancy %d, want 0", recycled.Occupancy())
+	}
+	rh, rm, ri, rb := run(recycled)
+	if rh != fh || rm != fm || ri != fi || rb != fb {
+		t.Fatalf("recycled stats %d/%d/%d/%d differ from fresh %d/%d/%d/%d",
+			rh, rm, ri, rb, fh, fm, fi, fb)
+	}
+}
+
+// Release must actually stock the pool: the next same-geometry New reuses
+// the backing arrays instead of allocating.
+func TestTagPoolReusesBackingArrays(t *testing.T) {
+	DrainPool()
+	cfg := config.Default()
+	cfg.UnitBytes = 1 << 20
+	a := New(&cfg, 1)
+	p := &a.epoch[0]
+	a.Release()
+	b := New(&cfg, 2)
+	if &b.epoch[0] != p {
+		t.Fatal("recycled cache did not reuse the released epoch array")
+	}
+	if a.lines != nil || a.epoch != nil {
+		t.Fatal("released cache kept references to its arrays")
+	}
+}
+
+// A different geometry must never receive the released arrays (stale
+// recency ranks would be out of range for a narrower associativity).
+func TestTagPoolIsGeometryKeyed(t *testing.T) {
+	DrainPool()
+	cfg := config.Default()
+	cfg.UnitBytes = 1 << 20
+	a := New(&cfg, 1)
+	p := &a.epoch[0]
+	a.Release()
+	small := cfg
+	small.UnitBytes = 1 << 19
+	b := New(&small, 1)
+	if len(b.epoch) > 0 && &b.epoch[0] == p {
+		t.Fatal("different-geometry cache received recycled arrays")
+	}
+	DrainPool()
+	c := New(&cfg, 3)
+	if &c.epoch[0] == p {
+		t.Fatal("DrainPool left recycled arrays in the pool")
+	}
+}
+
+// After Release the cache is inert, like a killed unit's: probes are dead
+// probes, inserts refuse, and nothing panics.
+func TestTagPoolReleaseDisables(t *testing.T) {
+	DrainPool()
+	cfg := config.Default()
+	cfg.UnitBytes = 1 << 20
+	c := New(&cfg, 1)
+	c.Insert(5)
+	c.Release()
+	c.Release() // idempotent
+	if c.Probe(5) {
+		t.Fatal("released cache must not hit")
+	}
+	if c.Insert(6) {
+		t.Fatal("released cache must not insert")
+	}
+	_, _, _, _, dead := c.Stats()
+	if dead != 1 {
+		t.Fatalf("dead probes = %d, want 1", dead)
+	}
+}
+
+// The epoch counter wrapping around (after ~4G bulk invalidations) must
+// fall back to a hard clear, not resurrect ancient entries.
+func TestTagPoolEpochWrap(t *testing.T) {
+	DrainPool()
+	cfg := config.Default()
+	cfg.UnitBytes = 1 << 20
+	c := New(&cfg, 1)
+	c.Insert(42)
+	c.cur = ^uint32(0) // entry 42 is now stale, like any post-invalidation tag
+	c.InvalidateAll()
+	if c.cur != 1 {
+		t.Fatalf("cur after wrap = %d, want 1", c.cur)
+	}
+	if c.Occupancy() != 0 || c.Probe(42) {
+		t.Fatal("wrapped epoch resurrected a stale entry")
+	}
+	if !c.Insert(42) || !c.Probe(42) {
+		t.Fatal("cache unusable after epoch wrap")
+	}
+}
+
+// Recycled arrays under LRU with the audit armed: the stale recency ranks
+// of never-touched ways must not trip the range or permutation checks.
+func TestTagPoolRecycledLRUAuditClean(t *testing.T) {
+	DrainPool()
+	cfg := config.Default()
+	cfg.UnitBytes = 1 << 20
+	cfg.BypassProb = 0
+	cfg.Replacement = config.ReplaceLRU
+
+	dirty := New(&cfg, 11)
+	for i := 0; i < 4000; i++ {
+		l := mem.Line(i)
+		if !dirty.Probe(l) {
+			dirty.Insert(l)
+		}
+	}
+	dirty.Release()
+
+	c := New(&cfg, 12)
+	c.Audit = check.New()
+	for i := 0; i < 4000; i++ {
+		l := mem.Line(i * 13 % 1777)
+		if !c.Probe(l) {
+			c.Insert(l)
+		}
+	}
+	if vs := c.Audit.Violations(); len(vs) > 0 {
+		t.Fatalf("audit violations on recycled LRU arrays: %v", vs)
+	}
+}

@@ -23,8 +23,9 @@ type Cache struct {
 	sets    int
 	setMask uint64
 	lines   []mem.Line // flattened [set][way]
-	valid   []bool
-	lru     []int8 // per-entry recency rank (0 = MRU), only under LRU
+	epoch   []uint32   // per-entry validity stamp: entry i is valid iff epoch[i] == cur
+	cur     uint32     // current validity epoch; bumping it is the bulk invalidation
+	lru     []int8     // per-entry recency rank (0 = MRU), only under LRU
 
 	bypassProb float64
 	useLRU     bool
@@ -57,15 +58,12 @@ func New(cfg *config.Config, seed uint64) *Cache {
 		ways:       ways,
 		sets:       sets,
 		setMask:    uint64(sets - 1),
-		lines:      make([]mem.Line, sets*ways),
-		valid:      make([]bool, sets*ways),
 		bypassProb: cfg.BypassProb,
 		useLRU:     cfg.Replacement == config.ReplaceLRU,
 		rng:        seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
 	}
-	if c.useLRU {
-		c.lru = make([]int8, sets*ways)
-	}
+	t := acquire(sets, ways, c.useLRU)
+	c.lines, c.epoch, c.lru, c.cur = t.lines, t.epoch, t.lru, t.cur
 	return c
 }
 
@@ -99,7 +97,7 @@ func (c *Cache) Probe(l mem.Line) bool {
 	}
 	base := int(uint64(l)&c.setMask) * c.ways
 	for w := 0; w < c.ways; w++ {
-		if c.valid[base+w] && c.lines[base+w] == l {
+		if c.epoch[base+w] == c.cur && c.lines[base+w] == l {
 			c.hits++
 			if c.useLRU {
 				c.promote(base, w, c.lru[base+w])
@@ -130,7 +128,7 @@ func (c *Cache) promote(base, w int, old int8) {
 func (c *Cache) Contains(l mem.Line) bool {
 	base := int(uint64(l)&c.setMask) * c.ways
 	for w := 0; w < c.ways; w++ {
-		if c.valid[base+w] && c.lines[base+w] == l {
+		if c.epoch[base+w] == c.cur && c.lines[base+w] == l {
 			return true
 		}
 	}
@@ -159,7 +157,7 @@ func (c *Cache) Insert(l mem.Line) bool {
 	base := int(uint64(l)&c.setMask) * c.ways
 	way := -1
 	for w := 0; w < c.ways; w++ {
-		if !c.valid[base+w] {
+		if c.epoch[base+w] != c.cur {
 			way = w
 			break
 		}
@@ -178,7 +176,7 @@ func (c *Cache) Insert(l mem.Line) bool {
 		}
 	}
 	c.lines[base+way] = l
-	c.valid[base+way] = true
+	c.epoch[base+way] = c.cur
 	if c.useLRU {
 		c.promote(base, way, int8(c.ways-1))
 	}
@@ -195,12 +193,12 @@ func (c *Cache) auditSet(base int) {
 	c.Audit.Tick()
 	valid := 0
 	for w := 0; w < c.ways; w++ {
-		if !c.valid[base+w] {
+		if c.epoch[base+w] != c.cur {
 			continue
 		}
 		valid++
 		for x := w + 1; x < c.ways; x++ {
-			if c.valid[base+x] && c.lines[base+x] == c.lines[base+w] {
+			if c.epoch[base+x] == c.cur && c.lines[base+x] == c.lines[base+w] {
 				c.Audit.Violationf("traveller.dup", -1,
 					"set %d holds line %d in ways %d and %d", base/c.ways, c.lines[base+w], w, x)
 				return
@@ -220,7 +218,7 @@ func (c *Cache) auditSet(base int) {
 				"set %d way %d recency rank %d outside [0,%d)", base/c.ways, w, r, c.ways)
 			return
 		}
-		if !c.valid[base+w] {
+		if c.epoch[base+w] != c.cur {
 			continue
 		}
 		if seen[r>>6]&(1<<uint(r&63)) != 0 {
@@ -241,10 +239,18 @@ func (c *Cache) auditSet(base int) {
 
 // InvalidateAll clears every tag — the bulk invalidation at the end of each
 // timestamp. Because the cache only ever holds read-only primary data, no
-// writeback is needed.
+// writeback is needed. It is O(1): bumping the validity epoch orphans every
+// entry at once (the hardware analogue of a flash-clear valid column), so
+// the stale tags and recency ranks left behind are exactly the state the
+// rest of the code already tolerates — which is what lets recycled tag
+// arrays (see Release) skip zeroing entirely.
 func (c *Cache) InvalidateAll() {
-	for i := range c.valid {
-		c.valid[i] = false
+	c.cur++
+	if c.cur == 0 { // epoch wrapped: only now do stale stamps need clearing
+		for i := range c.epoch {
+			c.epoch[i] = 0
+		}
+		c.cur = 1
 	}
 }
 
@@ -263,8 +269,8 @@ func (c *Cache) Disabled() bool { return c.disabled }
 // Occupancy returns the number of valid lines (for tests and debugging).
 func (c *Cache) Occupancy() int {
 	n := 0
-	for _, v := range c.valid {
-		if v {
+	for _, e := range c.epoch {
+		if e == c.cur {
 			n++
 		}
 	}

@@ -183,8 +183,8 @@ func TestOccupancyInvariant(t *testing.T) {
 			return false
 		}
 		seen := map[mem.Line]int{}
-		for i, v := range c.valid {
-			if v {
+		for i, e := range c.epoch {
+			if e == c.cur {
 				seen[c.lines[i]]++
 				if int(uint64(c.lines[i])&c.setMask) != i/c.ways {
 					return false
