@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet audit bench experiments figures serve serve-test clean
+.PHONY: all build test vet audit bench perf experiments figures serve serve-test clean
 
 all: vet test build
 
@@ -30,6 +30,13 @@ audit:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/abndpbench -quick -benchjson BENCH_$(shell date +%Y%m%d_%H%M%S).json >/dev/null
+
+# The longitudinal performance trajectory over the committed BENCH
+# records (docs/OBSERVABILITY.md): tables to stdout plus an SVG chart.
+# Gate a fresh record with:
+#   go run ./cmd/abndpperf -base BENCH_old.json -head BENCH_new.json -threshold 0.5
+perf:
+	$(GO) run ./cmd/abndpperf -svg docs/figures/perf_trajectory.svg
 
 # The HTTP simulation service (docs/SERVING.md): submit runs with
 # curl -X POST localhost:8080/v1/runs -d '{"app":"pr","design":"O"}'.

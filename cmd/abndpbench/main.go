@@ -44,7 +44,7 @@ func main() {
 		serial = flag.Bool("serial", false, "run simulations one at a time (equivalent to -j 1)")
 		bjson  = flag.String("benchjson", "", "write per-experiment wall-clock metrics to this JSON file (e.g. BENCH_20260805.json)")
 		prog   = flag.Bool("progress", false, "report per-experiment and per-run progress to stderr")
-		srv    = flag.String("pprof", "", "serve pprof+expvar debug HTTP on this address (e.g. :6060)")
+		srv    = flag.String("pprof", "", "serve pprof+expvar+Prometheus /metrics debug HTTP on this address (e.g. :6060)")
 		cpup   = flag.String("cpuprofile", "", "write a CPU profile of the harness to this file")
 		memp   = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 		rdl    = flag.Duration("rundeadline", 0, "per-run wall-clock deadline; a run past it is recorded as hung and skipped (0 = the 10m default, negative disables)")
@@ -77,7 +77,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "abndpbench:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "abndpbench: debug server at http://%s/debug/pprof/\n", addr)
+		fmt.Fprintf(os.Stderr, "abndpbench: debug server at http://%s/debug/pprof/ (metrics at /metrics)\n", addr)
 	}
 	if *cpup != "" {
 		f, err := os.Create(*cpup)

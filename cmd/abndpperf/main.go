@@ -1,0 +1,116 @@
+// Command abndpperf reads the longitudinal benchmark records
+// (BENCH_<date>.json, written by `make bench` / abndpbench -benchjson) and
+// reports the harness's performance trajectory, optionally gating CI on a
+// head-vs-baseline regression.
+//
+// Usage:
+//
+//	abndpperf                                # trajectory table over ./BENCH_*.json
+//	abndpperf -dir path [-svg out.svg]       # elsewhere, plus an SVG chart
+//	abndpperf -base old.json -head new.json -threshold 0.5
+//	                                         # diff mode: exit 1 on any metric
+//	                                         # more than 50% worse than base
+//
+// Diff mode compares ratio-stable signals only (events/sec, total and
+// per-experiment seconds); metrics absent or zero on either side are
+// skipped, so table-only experiments never read as collapses to zero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"abndp/internal/perf"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and exit code, so the regression
+// gate's behavior is testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("abndpperf", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir       = fs.String("dir", ".", "directory holding BENCH_*.json records")
+		svg       = fs.String("svg", "", "also write the trajectory as an SVG line chart")
+		base      = fs.String("base", "", "baseline record (diff mode; requires -head)")
+		head      = fs.String("head", "", "head record to gate (diff mode; requires -base)")
+		threshold = fs.Float64("threshold", 0.5, "tolerated fractional regression in diff mode (0.5 = fail beyond 50% worse)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*base == "") != (*head == "") {
+		fmt.Fprintln(stderr, "abndpperf: -base and -head go together")
+		return 2
+	}
+
+	if *base != "" {
+		return diff(*base, *head, *threshold, stdout, stderr)
+	}
+	return trajectory(*dir, *svg, stdout, stderr)
+}
+
+func trajectory(dir, svg string, stdout, stderr io.Writer) int {
+	paths, err := perf.Discover(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "abndpperf: %v\n", err)
+		return 2
+	}
+	if len(paths) == 0 {
+		fmt.Fprintf(stderr, "abndpperf: no BENCH_*.json records in %s\n", dir)
+		return 2
+	}
+	files, err := perf.Load(paths)
+	if err != nil {
+		fmt.Fprintf(stderr, "abndpperf: %v\n", err)
+		return 2
+	}
+	perf.WriteTrajectory(stdout, files)
+	if svg != "" {
+		doc, err := perf.TrajectorySVG(files)
+		if err != nil {
+			fmt.Fprintf(stderr, "abndpperf: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(svg, []byte(doc), 0o644); err != nil {
+			fmt.Fprintf(stderr, "abndpperf: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "\nwrote %s\n", svg)
+	}
+	return 0
+}
+
+func diff(basePath, headPath string, threshold float64, stdout, stderr io.Writer) int {
+	files, err := perf.Load([]string{basePath, headPath})
+	if err != nil {
+		fmt.Fprintf(stderr, "abndpperf: %v\n", err)
+		return 2
+	}
+	// Load sorts by date; index by path so -base stays the baseline even
+	// when head predates it.
+	base, head := files[0], files[1]
+	if base.Path != basePath {
+		base, head = head, base
+	}
+	regs, err := perf.Diff(base, head, threshold)
+	if err != nil {
+		fmt.Fprintf(stderr, "abndpperf: %v\n", err)
+		return 2
+	}
+	if len(regs) == 0 {
+		fmt.Fprintf(stdout, "ok: %s vs %s — no metric more than %.0f%% worse\n",
+			headPath, basePath, threshold*100)
+		return 0
+	}
+	fmt.Fprintf(stdout, "REGRESSION: %s vs %s (threshold %.0f%%)\n", headPath, basePath, threshold*100)
+	for _, r := range regs {
+		fmt.Fprintf(stdout, "  %s\n", r)
+	}
+	return 1
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"abndp/internal/bench"
+)
+
+func write(t *testing.T, dir, name string, m bench.Metrics) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := m.WriteJSON(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func metrics(date string, eps float64) bench.Metrics {
+	return bench.Metrics{
+		Date:         date,
+		Quick:        true,
+		Runs:         10,
+		SimSeconds:   1,
+		EventsTotal:  int64(eps),
+		EventsPerSec: eps,
+		TotalSeconds: 2,
+		Experiments:  []bench.ExperimentTiming{{Name: "fig6", Seconds: 0.5}},
+	}
+}
+
+// TestGateFailsOnSyntheticRegression is the CI regression gate's contract:
+// a head record with a >threshold throughput collapse exits 1; a healthy
+// head exits 0.
+func TestGateFailsOnSyntheticRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "BENCH_base.json", metrics("2026-08-01T00:00:00Z", 100000))
+	bad := write(t, dir, "BENCH_bad.json", metrics("2026-08-08T00:00:00Z", 5000)) // 95% drop
+	good := write(t, dir, "BENCH_good.json", metrics("2026-08-08T00:00:00Z", 90000))
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-base", base, "-head", bad, "-threshold", "0.5"}, &out, &errBuf); code != 1 {
+		t.Fatalf("synthetic regression exit = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errBuf.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "events_per_sec") {
+		t.Errorf("regression report missing detail:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-base", base, "-head", good, "-threshold", "0.5"}, &out, &errBuf); code != 0 {
+		t.Fatalf("healthy head exit = %d, want 0\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "ok:") {
+		t.Errorf("healthy diff should report ok:\n%s", out.String())
+	}
+}
+
+func TestTrajectoryModeAndSVG(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_20260801.json", metrics("2026-08-01T00:00:00Z", 100000))
+	write(t, dir, "BENCH_20260808.json", metrics("2026-08-08T00:00:00Z", 120000))
+	svg := filepath.Join(dir, "traj.svg")
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-dir", dir, "-svg", svg}, &out, &errBuf); code != 0 {
+		t.Fatalf("trajectory exit = %d\nstderr: %s", code, errBuf.String())
+	}
+	for _, want := range []string{"20260801", "20260808", "fig6", "wrote"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("trajectory output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBadFlagCombos(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-base", "x.json"}, &out, &errBuf); code != 2 {
+		t.Errorf("-base without -head exit = %d, want 2", code)
+	}
+	if code := run([]string{"-dir", "/nonexistent-dir-xyz"}, &out, &errBuf); code != 2 {
+		t.Errorf("empty dir exit = %d, want 2", code)
+	}
+}

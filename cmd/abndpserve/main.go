@@ -11,20 +11,25 @@
 //	abndpserve -queue 128             # larger pending-job queue
 //	abndpserve -check                 # audit every simulation
 //	abndpserve -rundeadline 2m        # per-job wall-clock deadline
+//	abndpserve -trace-dir traces      # one Perfetto trace per executed job
+//	abndpserve -log text              # human-readable logs (default json)
 //
-// Quick start (see docs/SERVING.md for the API):
+// Quick start (see docs/SERVING.md for the API, docs/OBSERVABILITY.md for
+// the metrics/tracing surface):
 //
 //	abndpserve -quick &
 //	curl -s -X POST localhost:8080/v1/runs -d '{"app":"pr","design":"O"}'
 //	curl -s 'localhost:8080/v1/runs/run-000001?wait=60s'
 //	curl -s localhost:8080/v1/experiments/tab1
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/metrics          # Prometheus exposition
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -38,19 +43,27 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "HTTP listen address")
-		jobs    = flag.Int("j", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
-		serial  = flag.Bool("serial", false, "one simulation at a time (equivalent to -j 1)")
-		queue   = flag.Int("queue", 64, "pending-job queue capacity (full queue returns 429)")
-		quick   = flag.Bool("quick", false, "shrink default workload sizings to smoke-test scale")
-		chk     = flag.Bool("check", false, "audit every simulation (invariants + dual-run hash; roughly doubles cost)")
-		rdl     = flag.Duration("rundeadline", 0, "per-job wall-clock deadline; a job past it fails (0 = the 10m default, negative disables)")
-		drainTO = flag.Duration("draintimeout", 2*time.Minute, "graceful-drain bound on SIGTERM/SIGINT")
-		bjson   = flag.String("benchjson", "", "write harness metrics to this JSON file on shutdown")
-		ckptOn  = flag.Bool("ckpt", true, "share a checkpoint store across requests: jobs varying only late-binding scheduler knobs reuse earlier jobs' placement vectors (byte-identical results; docs/PERF.md)")
-		engJobs = flag.Int("enginejobs", 0, "precompute workers per simulation (parallel engine; 0 disables, needs -ckpt)")
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		jobs     = flag.Int("j", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
+		serial   = flag.Bool("serial", false, "one simulation at a time (equivalent to -j 1)")
+		queue    = flag.Int("queue", 64, "pending-job queue capacity (full queue returns 429)")
+		quick    = flag.Bool("quick", false, "shrink default workload sizings to smoke-test scale")
+		chk      = flag.Bool("check", false, "audit every simulation (invariants + dual-run hash; roughly doubles cost)")
+		rdl      = flag.Duration("rundeadline", 0, "per-job wall-clock deadline; a job past it fails (0 = the 10m default, negative disables)")
+		drainTO  = flag.Duration("draintimeout", 2*time.Minute, "graceful-drain bound on SIGTERM/SIGINT")
+		bjson    = flag.String("benchjson", "", "write harness metrics to this JSON file on shutdown")
+		ckptOn   = flag.Bool("ckpt", true, "share a checkpoint store across requests: jobs varying only late-binding scheduler knobs reuse earlier jobs' placement vectors (byte-identical results; docs/PERF.md)")
+		engJobs  = flag.Int("enginejobs", 0, "precompute workers per simulation (parallel engine; 0 disables, needs -ckpt)")
+		traceDir = flag.String("trace-dir", "", "write one Perfetto trace per executed job to this directory (serve-tier request spans + engine tracks, keyed by request ID)")
+		logFmt   = flag.String("log", "json", "structured log format on stderr: json or text")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logFmt, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
 
 	// The same fail-fast flag validation as abndpbench: a negative -j or a
 	// contradictory -serial -j N is an error, not a silent clamp.
@@ -61,6 +74,11 @@ func main() {
 	if *queue <= 0 {
 		fatal(fmt.Errorf("abndpserve: queue capacity must be positive (got %d)", *queue))
 	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
 
 	srv := serve.New(serve.Config{
 		Workers:       workers,
@@ -70,6 +88,8 @@ func main() {
 		Check:         *chk,
 		Checkpoint:    *ckptOn,
 		EngineWorkers: *engJobs,
+		TraceDir:      *traceDir,
+		Logger:        logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -77,8 +97,9 @@ func main() {
 		fatal(err)
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	fmt.Fprintf(os.Stderr, "abndpserve: serving on http://%s (workers=%d queue=%d quick=%v check=%v)\n",
-		ln.Addr(), srv.Runner().Workers(), *queue, *quick, *chk)
+	logger.Info("serving", "addr", ln.Addr().String(),
+		"workers", srv.Runner().Workers(), "queue", *queue,
+		"quick", *quick, "check", *chk, "trace_dir", *traceDir)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
@@ -95,14 +116,14 @@ func main() {
 	// Graceful drain: close admissions first (new submissions see 503 /
 	// connection refused), then let queued and running jobs finish, bounded
 	// by -draintimeout.
-	fmt.Fprintln(os.Stderr, "abndpserve: draining (finishing queued and running jobs)")
+	logger.Info("draining", "timeout", drainTO.String())
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
 	drained := make(chan error, 1)
 	go func() { drained <- srv.Drain(dctx) }()
 	_ = httpSrv.Shutdown(dctx)
 	if err := <-drained; err != nil {
-		fmt.Fprintf(os.Stderr, "abndpserve: drain timed out: %v\n", err)
+		logger.Error("drain timed out", "err", err.Error())
 	}
 
 	// Flush harness metrics now that the pool is idle.
@@ -112,10 +133,28 @@ func main() {
 			fatal(err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "abndpserve: drained; %d simulations executed, %d failures\n",
-		m.Runs, len(m.Failures))
+	logger.Info("drained", "runs", m.Runs, "failures", len(m.Failures),
+		"events_total", m.EventsTotal, "events_per_sec", m.EventsPerSec)
 	if err := <-serveErr; err != nil && err != http.ErrServerClosed {
 		fatal(err)
+	}
+}
+
+// buildLogger constructs the stderr slog logger from the -log/-log-level
+// flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("invalid -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("invalid -log %q (json or text)", format)
 	}
 }
 

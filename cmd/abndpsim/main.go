@@ -56,7 +56,7 @@ func main() {
 		sample   = flag.Int64("sample-interval", 1024, "counter-sampling interval in cycles for -perfetto")
 		engine   = flag.String("engine", "serial", "simulation engine: 'serial' (golden default), 'checkpoint' (placement-vector memoization), or 'parallel' (plus background precompute workers); results are byte-identical (docs/PERF.md)")
 		engJobs  = flag.Int("enginejobs", 0, "precompute workers for -engine parallel (0 = GOMAXPROCS/2)")
-		pprofSrv = flag.String("pprof", "", "serve pprof+expvar debug HTTP on this address (e.g. :6060)")
+		pprofSrv = flag.String("pprof", "", "serve pprof+expvar+Prometheus /metrics debug HTTP on this address (e.g. :6060)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	)
@@ -67,7 +67,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "abndpsim: debug server at http://%s/debug/pprof/\n", addr)
+		fmt.Fprintf(os.Stderr, "abndpsim: debug server at http://%s/debug/pprof/ (metrics at /metrics)\n", addr)
 	}
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)

@@ -304,7 +304,8 @@ func (r *Runner) timeExperiment(name string) func() {
 }
 
 // newSystem builds the System for one run, applying the Runner's
-// checkpoint/parallel engine settings.
+// checkpoint/parallel engine settings and the spec's per-run observer
+// (read-only instrumentation; results stay byte-identical either way).
 func (r *Runner) newSystem(spec runSpec) *ndp.System {
 	sys := ndp.NewSystem(spec.cfg, spec.d)
 	if r.store != nil {
@@ -312,6 +313,9 @@ func (r *Runner) newSystem(spec runSpec) *ndp.System {
 		if r.engineWorkers > 0 {
 			sys.SetParallelWorkers(r.engineWorkers)
 		}
+	}
+	if spec.obsv != nil {
+		sys.SetObserver(spec.obsv)
 	}
 	return sys
 }

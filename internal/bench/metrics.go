@@ -86,12 +86,17 @@ type Metrics struct {
 // pre-executed, so Seconds is mostly formatting time while SimSeconds sums
 // the (possibly shared) runs' own wall-clock; with a single worker the
 // inline runs are inside Seconds too.
+//
+// The engine fields carry omitempty: table-only experiments (tab1, tab2)
+// reference no timing simulations, and emitting sim_seconds/events_per_sec
+// as literal zeros made trajectory consumers (cmd/abndpperf) read them as
+// collapses to 0 events/sec rather than "no engine work to measure".
 type ExperimentTiming struct {
 	Name         string  `json:"name"`
 	Seconds      float64 `json:"seconds"`
-	SimSeconds   float64 `json:"sim_seconds"`
-	EventsTotal  int64   `json:"events_total"`
-	EventsPerSec float64 `json:"events_per_sec"`
+	SimSeconds   float64 `json:"sim_seconds,omitempty"`
+	EventsTotal  int64   `json:"events_total,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 }
 
 func (m *Metrics) addRun() { atomic.AddInt64(&m.Runs, 1) }

@@ -25,12 +25,16 @@ var (
 // invariant audit for this one run even when the Runner-wide check mode is
 // off (the serving layer's per-run -check); it is not part of the cache
 // key, so a checked request for an already-memoized key reuses the result.
+// obsv, when non-nil, is installed on the run's System (the serving
+// layer's per-request Perfetto traces); observability is read-only, so it
+// is not part of the cache key either.
 type runSpec struct {
 	app   string
 	d     config.Design
 	cfg   config.Config
 	p     apps.Params
 	check bool
+	obsv  *obs.Observer
 }
 
 // funcSpec fully identifies one functional characterization run.

@@ -9,6 +9,7 @@ import (
 	"abndp/internal/apps"
 	"abndp/internal/config"
 	"abndp/internal/ndp"
+	"abndp/internal/obs"
 )
 
 // This file is the serving seam of the harness: the exported entry points
@@ -68,10 +69,22 @@ func (e *RunError) Error() string {
 // the same key — returns the failure placeholder alongside a *RunError,
 // so callers never mistake the sentinel for a real result.
 func (r *Runner) RunOne(ctx context.Context, s Spec, checked bool) (*ndp.Result, error) {
+	return r.RunOneObserved(ctx, s, checked, nil)
+}
+
+// RunOneObserved is RunOne with a per-run observability sink: when this
+// call leads the memo computation, o (a Perfetto tracer and/or phase
+// metrics) is installed on the run's System, so a serving request's trace
+// carries the engine's task spans and counter tracks. When the key is
+// already memoized — or another caller is mid-flight on it — no simulation
+// happens here and o silently receives no engine events; the caller's
+// request-level spans still apply. Observability is read-only, so the
+// memoized result is byte-identical either way.
+func (r *Runner) RunOneObserved(ctx context.Context, s Spec, checked bool, o *obs.Observer) (*ndp.Result, error) {
 	k := s.Key()
 	res, ok := r.cache.doCtx(ctx, k, func() *ndp.Result {
 		r.metrics.addRun()
-		return r.safeSimulate(k, runSpec{app: s.App, d: s.Design, cfg: s.Config, p: s.Params, check: checked})
+		return r.safeSimulate(k, runSpec{app: s.App, d: s.Design, cfg: s.Config, p: s.Params, check: checked, obsv: o})
 	})
 	if !ok {
 		return nil, ctx.Err()
@@ -80,6 +93,20 @@ func (r *Runner) RunOne(ctx context.Context, s Spec, checked bool) (*ndp.Result,
 		return res, &RunError{Failure: f}
 	}
 	return res, nil
+}
+
+// EngineTotals sums the engine cost of every simulation executed so far:
+// total events and host-side wall-clock seconds. Unlike Metrics it takes
+// only the stats lock, so the serving layer's live events/sec gauge can
+// read it on every scrape while workers are running.
+func (r *Runner) EngineTotals() (events int64, seconds float64) {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	for _, st := range r.runStats {
+		events += st.events
+		seconds += st.seconds
+	}
+	return events, seconds
 }
 
 // RenderTo renders one experiment into w instead of the Runner's

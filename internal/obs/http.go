@@ -8,19 +8,29 @@ import (
 	"sync"
 )
 
+// metricsOnce guards the one-time /metrics registration on the default
+// mux: StartDebugServer may be called more than once in a process (tests),
+// and DefaultServeMux panics on duplicate patterns.
+var metricsOnce sync.Once
+
 // StartDebugServer serves the Go debug endpoints — /debug/pprof (CPU,
-// heap, goroutine, block profiles) and /debug/vars (expvar counters,
-// including the harness progress counters published via Published) — on
-// addr in a background goroutine. It returns the bound address, so ":0"
-// picks a free port. The server lives for the remainder of the process;
-// simulation commands are short-lived, so there is no shutdown surface.
+// heap, goroutine, block profiles), /debug/vars (expvar counters,
+// including the harness progress counters published via Published), and
+// /metrics (the same counters plus the registered latency histograms in
+// Prometheus text format) — on addr in a background goroutine. It returns
+// the bound address, so ":0" picks a free port. The server lives for the
+// remainder of the process; simulation commands are short-lived, so there
+// is no shutdown surface.
 func StartDebugServer(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
+	metricsOnce.Do(func() {
+		http.Handle("/metrics", PromHandler())
+	})
 	go func() {
-		// Both pprof and expvar register on http.DefaultServeMux.
+		// pprof, expvar, and /metrics all register on http.DefaultServeMux.
 		_ = http.Serve(ln, nil)
 	}()
 	return ln.Addr().String(), nil

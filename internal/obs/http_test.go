@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestPublishedConcurrent hammers the expvar registration helpers from
+// many goroutines under -race: duplicate names must resolve to one
+// counter (expvar.NewInt panics on duplicates; Published serializes the
+// Get-then-New window) and PublishedFunc must stay a silent no-op on
+// re-registration.
+func TestPublishedConcurrent(t *testing.T) {
+	const goroutines = 16
+	var wg sync.WaitGroup
+	got := make([]any, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				v := Published(fmt.Sprintf("http_test_ctr_%d", i))
+				v.Add(1)
+				PublishedFunc(fmt.Sprintf("http_test_gauge_%d", i), func() any { return i })
+			}
+			got[g] = Published("http_test_ctr_0")
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if got[g] != got[0] {
+			t.Fatal("Published returned distinct counters for one name")
+		}
+	}
+	if v := Published("http_test_ctr_0").Value(); v != goroutines {
+		t.Errorf("http_test_ctr_0 = %d, want %d", v, goroutines)
+	}
+}
+
+// TestDebugServerMetrics boots the debug server and asserts /metrics
+// serves a parseable Prometheus exposition carrying the registered
+// counters and histograms.
+func TestDebugServerMetrics(t *testing.T) {
+	Published("http_test_metrics_counter").Add(3)
+	PublishedHist("http_test_metrics_seconds", "Debug-server test histogram.", 1e-6).Observe(1500)
+
+	addr, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := parseExposition(t, string(body))
+	if got := series["http_test_metrics_counter"]; got < 3 {
+		t.Errorf("counter = %v, want >= 3", got)
+	}
+	if got := series[`http_test_metrics_seconds_bucket{le="+Inf"}`]; got < 1 {
+		t.Errorf("+Inf bucket = %v, want >= 1", got)
+	}
+
+	// A second StartDebugServer must not panic on the /metrics pattern.
+	if _, err := StartDebugServer("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"strconv"
 	"strings"
@@ -46,6 +47,59 @@ func (h *Hist) Mean() float64 {
 		return 0
 	}
 	return float64(h.Sum) / float64(h.Count)
+}
+
+// BucketBounds returns the value range [lo, hi] (inclusive) covered by
+// bucket i: bucket 0 holds only zeros, bucket i holds [2^(i-1), 2^i-1],
+// and the last bucket is open-ended (hi = MaxInt64).
+func BucketBounds(i int) (lo, hi int64) {
+	if i <= 0 {
+		return 0, 0
+	}
+	lo = int64(1) << (i - 1)
+	if i >= histBuckets-1 {
+		return lo, math.MaxInt64
+	}
+	return lo, int64(1)<<i - 1
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the recorded samples
+// by linear interpolation inside the log-spaced bucket containing the
+// rank, the same scheme Prometheus's histogram_quantile uses. Because the
+// estimate never leaves the true sample's bucket, it is within a factor of
+// two of the exact percentile for samples >= 1 (TestQuantileBracket). The
+// top end is clamped to the observed Max.
+func (h *Hist) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var seen int64
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		if rank <= float64(seen+c) {
+			lo64, hi64 := BucketBounds(i)
+			lo, hi := float64(lo64), float64(hi64)
+			if hi > float64(h.Max) {
+				hi = float64(h.Max)
+			}
+			if lo > hi {
+				return hi
+			}
+			frac := (rank - float64(seen)) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		seen += c
+	}
+	return float64(h.Max)
 }
 
 // Merge folds o into h.

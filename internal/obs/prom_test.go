@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	promNameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promSeriesRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+	promLabelRe  = regexp.MustCompile(`^\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\}$`)
+)
+
+// parseExposition validates text as Prometheus exposition format (the
+// subset WritePrometheus emits): every line is a # HELP, # TYPE, or
+// series line; every series name matches its preceding TYPE family; every
+// value parses as a float. It returns the series it saw.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	series := map[string]float64{}
+	typed := map[string]string{} // family -> type
+	var curFamily string
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			if !promNameRe.MatchString(parts[2]) {
+				t.Fatalf("line %d: invalid metric name %q", ln+1, parts[2])
+			}
+			if parts[1] == "TYPE" {
+				typ := strings.TrimSpace(parts[3])
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					t.Fatalf("line %d: invalid TYPE %q", ln+1, typ)
+				}
+				if _, dup := typed[parts[2]]; dup {
+					t.Fatalf("line %d: duplicate TYPE for %q", ln+1, parts[2])
+				}
+				typed[parts[2]] = typ
+				curFamily = parts[2]
+			}
+			continue
+		}
+		m := promSeriesRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed series line %q", ln+1, line)
+		}
+		name, labels, valStr := m[1], m[2], m[3]
+		if labels != "" && !promLabelRe.MatchString(labels) {
+			t.Fatalf("line %d: malformed labels %q", ln+1, labels)
+		}
+		var v float64
+		if valStr == "+Inf" || valStr == "-Inf" || valStr == "NaN" {
+			// allowed exposition values
+		} else {
+			f, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("line %d: unparseable value %q: %v", ln+1, valStr, err)
+			}
+			v = f
+		}
+		// A histogram family's series carry the _bucket/_sum/_count suffix.
+		if curFamily != "" && typed[curFamily] == "histogram" && strings.HasPrefix(name, curFamily+"_") {
+			suffix := strings.TrimPrefix(name, curFamily+"_")
+			switch suffix {
+			case "bucket", "sum", "count":
+			default:
+				t.Fatalf("line %d: unexpected histogram series %q", ln+1, name)
+			}
+		}
+		series[name+labels] = v
+	}
+	return series
+}
+
+func TestWritePrometheusExposition(t *testing.T) {
+	c := Published("prom_test_counter")
+	c.Add(7)
+	PublishedFunc("prom_test_gauge", func() any { return 42 })
+	h := PublishedHist("prom_test_seconds", "Test latency histogram.", 1e-6)
+	for _, us := range []int64{10, 100, 1000, 150000, 2_000_000} {
+		h.Observe(us)
+	}
+
+	var buf bytes.Buffer
+	WritePrometheus(&buf)
+	series := parseExposition(t, buf.String())
+
+	if got := series["prom_test_counter"]; got < 7 {
+		t.Errorf("prom_test_counter = %v, want >= 7", got)
+	}
+	if got := series["prom_test_gauge"]; got != 42 {
+		t.Errorf("prom_test_gauge = %v, want 42", got)
+	}
+	if got := series[`prom_test_seconds_bucket{le="+Inf"}`]; got != 5 {
+		t.Errorf(`+Inf bucket = %v, want 5`, got)
+	}
+	if got := series["prom_test_seconds_count"]; got != 5 {
+		t.Errorf("count = %v, want 5", got)
+	}
+	wantSum := float64(10+100+1000+150000+2_000_000) / 1e6
+	if got := series["prom_test_seconds_sum"]; got < wantSum*0.999 || got > wantSum*1.001 {
+		t.Errorf("sum = %v, want ~%v", got, wantSum)
+	}
+	// Cumulative buckets are monotone non-decreasing in le order.
+	var prev float64
+	for i := 1; i < histBuckets-1; i++ {
+		_, hi := BucketBounds(i)
+		key := fmt.Sprintf(`prom_test_seconds_bucket{le="%s"}`, fmtFloat(float64(hi)*1e-6))
+		cur, ok := series[key]
+		if !ok {
+			t.Fatalf("missing bucket series %s", key)
+		}
+		if cur < prev {
+			t.Fatalf("bucket %s not cumulative: %v after %v", key, cur, prev)
+		}
+		prev = cur
+	}
+	// Runtime gauges ride along.
+	if _, ok := series["go_goroutines"]; !ok {
+		t.Error("missing go_goroutines gauge")
+	}
+	// The raw expvar JSON blobs must not leak into the exposition.
+	if strings.Contains(buf.String(), "cmdline") || strings.Contains(buf.String(), `"memstats"`) {
+		t.Error("exposition leaks raw cmdline/memstats expvars")
+	}
+}
+
+func TestSyncHistQuantileScale(t *testing.T) {
+	h := PublishedHist("prom_test_scale_seconds", "", 1e-6)
+	for i := 0; i < 1000; i++ {
+		h.Observe(1_000_000) // 1s in microseconds
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 0.5 || p50 > 2.0 {
+		t.Errorf("p50 = %v s, want ~1s (factor-2 bucket bound)", p50)
+	}
+}
+
+func TestPublishedHistIdempotent(t *testing.T) {
+	a := PublishedHist("prom_test_idem", "first", 1)
+	b := PublishedHist("prom_test_idem", "second", 2)
+	if a != b {
+		t.Fatal("PublishedHist returned distinct histograms for one name")
+	}
+}
+
+func TestSyncHistConcurrent(t *testing.T) {
+	h := PublishedHist("prom_test_concurrent", "", 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(g*1000 + i))
+			}
+		}(g)
+	}
+	// Concurrent scrapes while observing.
+	for i := 0; i < 10; i++ {
+		var buf bytes.Buffer
+		WritePrometheus(&buf)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 8000 {
+		t.Errorf("count = %d, want 8000", got)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve_jobs_submitted": "serve_jobs_submitted",
+		"bad-name.with:chars":  "bad_name_with:chars",
+		"9leading":             "_9leading",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+		if !promNameRe.MatchString(promName(in)) {
+			t.Errorf("promName(%q) = %q invalid", in, promName(in))
+		}
+	}
+}

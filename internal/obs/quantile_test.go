@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the nearest-rank percentile of a sorted sample set,
+// using the same rank convention as Hist.Quantile (rank = q*n, cumulative
+// count >= rank).
+func exactQuantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// checkBracket asserts the log-bucket estimate is within a factor of two
+// of the exact percentile — the bound the power-of-two buckets guarantee
+// when estimate and exact land in the same bucket.
+func checkBracket(t *testing.T, name string, samples []int64, q float64) {
+	t.Helper()
+	var h Hist
+	for _, v := range samples {
+		h.Observe(v)
+	}
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	exact := exactQuantile(sorted, q)
+	est := h.Quantile(q)
+
+	if exact == 0 {
+		if est != 0 {
+			t.Errorf("%s q=%.2f: exact 0 but estimate %.2f", name, q, est)
+		}
+		return
+	}
+	if topLo, _ := BucketBounds(histBuckets - 1); exact >= topLo {
+		// The open-ended top bucket has no upper edge to interpolate
+		// against, so only the clamp bounds hold there.
+		if est < float64(topLo) || est > float64(h.Max) {
+			t.Errorf("%s q=%.2f: open-bucket estimate %.2f outside [%d, %d]",
+				name, q, est, topLo, h.Max)
+		}
+		return
+	}
+	lo, hi := float64(exact)/2, float64(exact)*2
+	if est < lo || est > hi {
+		t.Errorf("%s q=%.2f: estimate %.2f outside factor-2 bracket of exact %d [%.1f, %.1f]",
+			name, q, est, exact, lo, hi)
+	}
+	if est > float64(h.Max) {
+		t.Errorf("%s q=%.2f: estimate %.2f exceeds max %d", name, q, est, h.Max)
+	}
+}
+
+func TestQuantileBracket(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dists := map[string]func(n int) []int64{
+		"uniform": func(n int) []int64 {
+			s := make([]int64, n)
+			for i := range s {
+				s[i] = rng.Int63n(100000)
+			}
+			return s
+		},
+		"exponential": func(n int) []int64 {
+			s := make([]int64, n)
+			for i := range s {
+				s[i] = int64(rng.ExpFloat64() * 5000)
+			}
+			return s
+		},
+		"lognormal": func(n int) []int64 {
+			s := make([]int64, n)
+			for i := range s {
+				s[i] = int64(math.Exp(rng.NormFloat64()*2 + 6))
+			}
+			return s
+		},
+		"bimodal": func(n int) []int64 {
+			s := make([]int64, n)
+			for i := range s {
+				if rng.Intn(2) == 0 {
+					s[i] = 10 + rng.Int63n(5)
+				} else {
+					s[i] = 100000 + rng.Int63n(5000)
+				}
+			}
+			return s
+		},
+		"constant": func(n int) []int64 {
+			s := make([]int64, n)
+			for i := range s {
+				s[i] = 4096
+			}
+			return s
+		},
+	}
+	for name, gen := range dists {
+		for _, n := range []int{10, 1000, 50000} {
+			samples := gen(n)
+			for _, q := range []float64{0.5, 0.95, 0.99} {
+				checkBracket(t, name, samples, q)
+			}
+		}
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var h Hist
+	for i := 0; i < 10000; i++ {
+		h.Observe(rng.Int63n(1 << 20))
+	}
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: q=%.2f gave %.2f after %.2f", q, v, prev)
+		}
+		prev = v
+	}
+	if got := h.Quantile(1); got != float64(h.Max) {
+		t.Errorf("Quantile(1) = %.2f, want max %d", got, h.Max)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var h Hist
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty hist quantile = %v, want 0", got)
+	}
+	h.Observe(0)
+	h.Observe(0)
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("all-zero hist p99 = %v, want 0", got)
+	}
+	var one Hist
+	one.Observe(42)
+	got := one.Quantile(0.5)
+	if got < 21 || got > 63 {
+		t.Errorf("single-sample p50 = %v, want within bucket [32,63] clamped to max 42", got)
+	}
+	if got := one.Quantile(1); got != 42 {
+		t.Errorf("single-sample p100 = %v, want 42", got)
+	}
+	// Out-of-range q clamps rather than panics.
+	if got := one.Quantile(-1); got < 0 {
+		t.Errorf("Quantile(-1) = %v", got)
+	}
+	if got := one.Quantile(2); got != 42 {
+		t.Errorf("Quantile(2) = %v, want 42", got)
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	cases := []struct {
+		i      int
+		lo, hi int64
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{2, 2, 3},
+		{3, 4, 7},
+		{10, 512, 1023},
+		{histBuckets - 1, 1 << (histBuckets - 2), math.MaxInt64},
+	}
+	for _, c := range cases {
+		lo, hi := BucketBounds(c.i)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("BucketBounds(%d) = (%d, %d), want (%d, %d)", c.i, lo, hi, c.lo, c.hi)
+		}
+	}
+	// Every observable value lands in the bucket whose bounds contain it.
+	var h Hist
+	for _, v := range []int64{0, 1, 2, 3, 4, 1023, 1024, 1 << 40} {
+		h = Hist{}
+		h.Observe(v)
+		for i, c := range h.Buckets {
+			if c == 1 {
+				lo, hi := BucketBounds(i)
+				if v < lo || v > hi {
+					t.Errorf("value %d landed in bucket %d with bounds [%d, %d]", v, i, lo, hi)
+				}
+			}
+		}
+	}
+}

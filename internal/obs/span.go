@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// PidServe is the trace pid of the serving tier's span track. Engine
+// traces use pids [0, units] (one per NDP unit plus the "system" process);
+// the serving tier sits far above that range so a request's wall-clock
+// spans and its simulation's cycle tracks coexist in one Perfetto file
+// without colliding.
+const PidServe = 1 << 20
+
+// ReqTrace is the request-scoped span recorder of the serving tier: one
+// per tracked request, carrying the request ID and the lifecycle spans
+// (queue wait, run, render, ...) as wall-clock intervals relative to the
+// trace's begin time. It is concurrency-safe — HTTP handler and worker
+// goroutines may record spans on the same request — and is rendered into a
+// Tracer once, after the request reaches a terminal state, so span writes
+// never interleave with the engine's own trace events.
+type ReqTrace struct {
+	ID    string
+	Begin time.Time
+
+	mu    sync.Mutex
+	spans []reqSpan
+}
+
+type reqSpan struct {
+	name       string
+	start, end time.Duration // offsets from Begin
+	args       []any
+}
+
+// NewReqTrace starts a request trace identified by id, anchored at now.
+func NewReqTrace(id string) *ReqTrace {
+	return &ReqTrace{ID: id, Begin: time.Now()}
+}
+
+// Span records one named interval. Times before Begin clamp to Begin (a
+// span can never start at a negative offset), and end < start clamps to a
+// zero-duration span. args are alternating key, value pairs rendered into
+// the trace event's args object.
+func (r *ReqTrace) Span(name string, start, end time.Time, args ...any) {
+	so, eo := start.Sub(r.Begin), end.Sub(r.Begin)
+	if so < 0 {
+		so = 0
+	}
+	if eo < so {
+		eo = so
+	}
+	r.mu.Lock()
+	r.spans = append(r.spans, reqSpan{name: name, start: so, end: eo, args: args})
+	r.mu.Unlock()
+}
+
+// StartSpan opens a span at now and returns the closure that ends it —
+// `defer rt.StartSpan("render")()` brackets a block.
+func (r *ReqTrace) StartSpan(name string, args ...any) func() {
+	t0 := time.Now()
+	return func() { r.Span(name, t0, time.Now(), args...) }
+}
+
+// Len returns the number of spans recorded so far.
+func (r *ReqTrace) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// WriteTo renders the recorded spans into t on the serving tier's track:
+// a "serve <id>" process pinned above the engine's unit processes, one
+// "request" thread, every span tagged with the request ID. Call it exactly
+// once, after the engine (if any) has finished writing — the Tracer is not
+// concurrency-safe.
+func (r *ReqTrace) WriteTo(t *Tracer) {
+	t.ProcessName(PidServe, "serve "+r.ID)
+	t.ProcessSortIndex(PidServe, -2)
+	t.ThreadName(PidServe, 0, "request")
+	r.mu.Lock()
+	spans := append([]reqSpan(nil), r.spans...)
+	r.mu.Unlock()
+	for _, s := range spans {
+		args := append([]any{"request_id", r.ID}, s.args...)
+		t.SpanUS(PidServe, 0, s.name,
+			float64(s.start.Microseconds()), float64((s.end - s.start).Microseconds()), args...)
+	}
+}

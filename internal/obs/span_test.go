@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestReqTraceWriteTo(t *testing.T) {
+	rt := NewReqTrace("req-000042")
+	t0 := rt.Begin
+	rt.Span("queue wait", t0, t0.Add(3*time.Millisecond))
+	rt.Span("run", t0.Add(3*time.Millisecond), t0.Add(10*time.Millisecond), "job", "run-000001")
+	done := rt.StartSpan("render")
+	done()
+
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, 1.0)
+	rt.WriteTo(tr)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Name string         `json:"name"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	spans := map[string]bool{}
+	var procName string
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			if e.Pid != PidServe {
+				t.Errorf("span %q on pid %d, want %d", e.Name, e.Pid, PidServe)
+			}
+			if id, _ := e.Args["request_id"].(string); id != "req-000042" {
+				t.Errorf("span %q request_id = %v", e.Name, e.Args["request_id"])
+			}
+			spans[e.Name] = true
+			if e.Name == "queue wait" && (e.Dur < 2000 || e.Dur > 5000) {
+				t.Errorf("queue wait dur = %v us, want ~3000", e.Dur)
+			}
+			if e.Name == "run" {
+				if job, _ := e.Args["job"].(string); job != "run-000001" {
+					t.Errorf("run span job arg = %v", e.Args["job"])
+				}
+			}
+		case "M":
+			if e.Name == "process_name" && e.Pid == PidServe {
+				procName, _ = e.Args["name"].(string)
+			}
+		}
+	}
+	for _, want := range []string{"queue wait", "run", "render"} {
+		if !spans[want] {
+			t.Errorf("missing span %q (got %v)", want, spans)
+		}
+	}
+	if !strings.Contains(procName, "req-000042") {
+		t.Errorf("serve process name %q does not carry the request id", procName)
+	}
+}
+
+func TestReqTraceClamps(t *testing.T) {
+	rt := NewReqTrace("req-1")
+	// Span starting before the trace began clamps to offset 0; end before
+	// start clamps to zero duration.
+	rt.Span("early", rt.Begin.Add(-time.Second), rt.Begin.Add(-500*time.Millisecond))
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, 1.0)
+	rt.WriteTo(tr)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON: %s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"ts":0,"dur":0`) {
+		t.Errorf("clamped span not at ts=0 dur=0: %s", buf.String())
+	}
+}
+
+func TestReqTraceConcurrentSpans(t *testing.T) {
+	rt := NewReqTrace("req-2")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				rt.StartSpan("s")()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := rt.Len(); got != 800 {
+		t.Errorf("Len = %d, want 800", got)
+	}
+}

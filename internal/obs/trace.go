@@ -186,6 +186,21 @@ func (t *Tracer) Span(pid, tid int, name string, start, dur int64, args ...any) 
 	t.raw("}")
 }
 
+// SpanUS emits a complete ("X") event with explicit microsecond timestamps
+// instead of core cycles — the serving tier's wall-clock request spans use
+// it to land on the same timeline as the engine's cycle-converted tracks.
+func (t *Tracer) SpanUS(pid, tid int, name string, tsUS, durUS float64, args ...any) {
+	t.head("X", pid, tid)
+	t.field("ts")
+	t.float(tsUS)
+	t.field("dur")
+	t.float(durUS)
+	t.field("name")
+	t.str(name)
+	t.args(args)
+	t.raw("}")
+}
+
 // Instant emits a thread-scoped instant ("i") event at cycle.
 func (t *Tracer) Instant(pid, tid int, name string, cycle int64, args ...any) {
 	t.head("i", pid, tid)

@@ -1,0 +1,229 @@
+// Package perf reads the harness's longitudinal benchmark records — the
+// BENCH_<date>.json files at the repo root, one per recorded run of
+// `make bench` — and turns them into a performance trajectory: tables and
+// an SVG of events/sec and per-experiment wall-clock across dates, plus a
+// head-vs-baseline diff with a tolerance threshold for the CI regression
+// gate (cmd/abndpperf).
+//
+// The diff deliberately reads only ratio-stable signals. Absolute seconds
+// vary machine to machine, so the gate compares head against a baseline
+// measured in the same CI job, and the threshold is a fractional change
+// (0.5 = fail beyond ±50%), wide enough for scheduler noise but tight
+// enough to catch an accidental O(n²) or a collapsed cache.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"abndp/internal/bench"
+	"abndp/internal/plot"
+)
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// File is one loaded BENCH_<date>.json: the harness metrics plus where
+// they came from.
+type File struct {
+	Path string
+	bench.Metrics
+}
+
+// Load reads and decodes the given benchmark files, sorted by recorded
+// date (files without one sort by path, first).
+func Load(paths []string) ([]File, error) {
+	files := make([]File, 0, len(paths))
+	for _, p := range paths {
+		var f File
+		if err := readJSON(p, &f.Metrics); err != nil {
+			return nil, fmt.Errorf("perf: %s: %w", p, err)
+		}
+		f.Path = p
+		files = append(files, f)
+	}
+	sort.SliceStable(files, func(i, j int) bool {
+		if files[i].Date != files[j].Date {
+			return files[i].Date < files[j].Date
+		}
+		return files[i].Path < files[j].Path
+	})
+	return files, nil
+}
+
+// Discover globs dir for benchmark records (BENCH_*.json).
+func Discover(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// label is the short display name of a record: the date part of the
+// filename if it matches BENCH_<stamp>.json, else the bare filename.
+func (f File) label() string {
+	name := filepath.Base(f.Path)
+	name = strings.TrimSuffix(name, ".json")
+	name = strings.TrimPrefix(name, "BENCH_")
+	return name
+}
+
+// WriteTrajectory renders the longitudinal tables: one row per record with
+// the headline harness numbers, then per-experiment render seconds across
+// records (columns in date order). Experiments absent from a record (added
+// later) print "-".
+func WriteTrajectory(w io.Writer, files []File) {
+	fmt.Fprintf(w, "%-16s %8s %6s %7s %12s %14s %12s %10s\n",
+		"record", "engine", "quick", "runs", "sim_sec", "events", "events/sec", "total_sec")
+	for _, f := range files {
+		engine := f.Engine
+		if engine == "" {
+			engine = "-"
+		}
+		eps := "-"
+		if f.EventsPerSec > 0 {
+			eps = fmt.Sprintf("%.0f", f.EventsPerSec)
+		}
+		ev := "-"
+		if f.EventsTotal > 0 {
+			ev = fmt.Sprintf("%d", f.EventsTotal)
+		}
+		fmt.Fprintf(w, "%-16s %8s %6v %7d %12.3f %14s %12s %10.3f\n",
+			f.label(), engine, f.Quick, f.Runs, f.SimSeconds, ev, eps, f.TotalSeconds)
+	}
+
+	// Union of experiment names in first-seen order, so new experiments
+	// append at the bottom rather than reshuffling the table.
+	var names []string
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, e := range f.Experiments {
+			if !seen[e.Name] {
+				seen[e.Name] = true
+				names = append(names, e.Name)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%-12s", "experiment")
+	for _, f := range files {
+		fmt.Fprintf(w, " %14s", f.label())
+	}
+	fmt.Fprintln(w, "  (render seconds)")
+	for _, name := range names {
+		fmt.Fprintf(w, "%-12s", name)
+		for _, f := range files {
+			if e, ok := experiment(f, name); ok {
+				fmt.Fprintf(w, " %14.4f", e.Seconds)
+			} else {
+				fmt.Fprintf(w, " %14s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func experiment(f File, name string) (bench.ExperimentTiming, bool) {
+	for _, e := range f.Experiments {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return bench.ExperimentTiming{}, false
+}
+
+// TrajectorySVG renders the events/sec trajectory as a line chart, with
+// total wall-clock as a second series. Needs at least two records.
+func TrajectorySVG(files []File) (string, error) {
+	if len(files) < 2 {
+		return "", fmt.Errorf("perf: trajectory needs >= 2 records, have %d", len(files))
+	}
+	cats := make([]string, len(files))
+	eps := make([]float64, len(files))
+	total := make([]float64, len(files))
+	for i, f := range files {
+		cats[i] = f.label()
+		eps[i] = f.EventsPerSec / 1e3
+		total[i] = f.TotalSeconds
+	}
+	return plot.Line(&plot.Chart{
+		Title:      "Harness performance trajectory",
+		Subtitle:   "engine throughput (kEvents/sec) and total bench wall-clock (s) per recorded run",
+		YLabel:     "kEvents/sec | seconds",
+		Categories: cats,
+		Series: []plot.Series{
+			{Name: "kEvents/sec", Values: eps},
+			{Name: "total seconds", Values: total},
+		},
+	})
+}
+
+// Regression is one metric that moved beyond the diff threshold in the
+// bad direction between the baseline and head records.
+type Regression struct {
+	Metric string // e.g. "events_per_sec", "experiment fig6 seconds"
+	Base   float64
+	Head   float64
+	Change float64 // fractional regression (0.25 = 25% worse)
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.4g -> %.4g (%.0f%% worse)", r.Metric, r.Base, r.Head, r.Change*100)
+}
+
+// Diff compares head against base and returns every metric that regressed
+// by more than threshold (a fraction: 0.5 tolerates anything better than
+// 50% worse). Higher-is-better metrics (events/sec) regress by dropping;
+// lower-is-better metrics (seconds) regress by growing. Metrics that are
+// zero or absent on either side are skipped — a 0 means "not measured"
+// (table-only experiments carry no engine time), never "infinitely slow".
+// Records with different quick settings are incomparable; Diff says so
+// instead of reporting nonsense.
+func Diff(base, head File, threshold float64) ([]Regression, error) {
+	if base.Quick != head.Quick {
+		return nil, fmt.Errorf("perf: base quick=%v but head quick=%v; same-mode records required", base.Quick, head.Quick)
+	}
+	var regs []Regression
+	check := func(metric string, b, h float64, higherBetter bool) {
+		if b <= 0 || h <= 0 {
+			return
+		}
+		var change float64
+		if higherBetter {
+			change = 1 - h/b
+		} else {
+			change = h/b - 1
+		}
+		if change > threshold {
+			regs = append(regs, Regression{Metric: metric, Base: b, Head: h, Change: change})
+		}
+	}
+
+	check("events_per_sec", base.EventsPerSec, head.EventsPerSec, true)
+	check("total_seconds", base.TotalSeconds, head.TotalSeconds, false)
+	check("sim_seconds", base.SimSeconds, head.SimSeconds, false)
+	for _, be := range base.Experiments {
+		he, ok := experiment(head, be.Name)
+		if !ok {
+			continue // experiment removed; not a perf signal
+		}
+		check("experiment "+be.Name+" seconds", be.Seconds, he.Seconds, false)
+		check("experiment "+be.Name+" events_per_sec", be.EventsPerSec, he.EventsPerSec, true)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Change > regs[j].Change })
+	return regs, nil
+}

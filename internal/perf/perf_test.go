@@ -1,0 +1,224 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"abndp/internal/bench"
+)
+
+// record writes a synthetic BENCH file and returns its path.
+func record(t *testing.T, dir, name string, m bench.Metrics) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := m.WriteJSON(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func baseMetrics() bench.Metrics {
+	return bench.Metrics{
+		Date:         "2026-08-01T00:00:00Z",
+		Quick:        true,
+		Runs:         100,
+		SimSeconds:   2.0,
+		EventsTotal:  200000,
+		EventsPerSec: 100000,
+		TotalSeconds: 3.0,
+		Engine:       "serial",
+		Experiments: []bench.ExperimentTiming{
+			{Name: "tab1", Seconds: 0.0001}, // table-only: no engine fields
+			{Name: "fig6", Seconds: 0.5, SimSeconds: 0.45, EventsTotal: 50000, EventsPerSec: 111111},
+		},
+	}
+}
+
+func TestLoadSortsByDate(t *testing.T) {
+	dir := t.TempDir()
+	newer := baseMetrics()
+	newer.Date = "2026-08-08T00:00:00Z"
+	// Written in reverse name order to prove the sort keys on Date.
+	pNew := record(t, dir, "BENCH_a.json", newer)
+	pOld := record(t, dir, "BENCH_b.json", baseMetrics())
+	files, err := Load([]string{pNew, pOld})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files[0].Path != pOld || files[1].Path != pNew {
+		t.Fatalf("load order %q, %q; want date order", files[0].Path, files[1].Path)
+	}
+}
+
+func TestCommittedRecords(t *testing.T) {
+	// The repo's own records must load and render — the CI trajectory step
+	// runs exactly this.
+	paths, err := Discover("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 2 {
+		t.Skipf("fewer than 2 committed BENCH records (%d)", len(paths))
+	}
+	files, err := Load(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteTrajectory(&sb, files)
+	out := sb.String()
+	for _, want := range []string{"record", "events/sec", "experiment", "fig6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trajectory output missing %q:\n%s", want, out)
+		}
+	}
+	if svg, err := TrajectorySVG(files); err != nil {
+		t.Errorf("TrajectorySVG: %v", err)
+	} else if !strings.Contains(svg, "<svg") {
+		t.Errorf("TrajectorySVG did not produce SVG")
+	}
+}
+
+func TestDiffCleanPass(t *testing.T) {
+	base, head := baseMetrics(), baseMetrics()
+	head.EventsPerSec = 95000 // 5% down: inside any sane threshold
+	regs, err := Diff(File{Metrics: base}, File{Metrics: head}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("clean diff reported regressions: %v", regs)
+	}
+}
+
+func TestDiffCatchesThroughputCollapse(t *testing.T) {
+	base, head := baseMetrics(), baseMetrics()
+	head.EventsPerSec = 10000 // 90% drop
+	regs, err := Diff(File{Metrics: base}, File{Metrics: head}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "events_per_sec" {
+		t.Fatalf("regressions = %v, want exactly events_per_sec", regs)
+	}
+	if regs[0].Change < 0.89 || regs[0].Change > 0.91 {
+		t.Errorf("change = %v, want ~0.9", regs[0].Change)
+	}
+}
+
+func TestDiffCatchesExperimentBlowup(t *testing.T) {
+	base, head := baseMetrics(), baseMetrics()
+	head.Experiments[1].Seconds = 5.0 // fig6: 10x slower
+	regs, err := Diff(File{Metrics: base}, File{Metrics: head}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range regs {
+		if r.Metric == "experiment fig6 seconds" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("regressions = %v, want experiment fig6 seconds", regs)
+	}
+}
+
+func TestDiffSkipsZeroMetrics(t *testing.T) {
+	// Table-only experiments carry no engine numbers (omitempty zeros):
+	// they must never read as a collapse to 0 events/sec, in either
+	// direction.
+	base, head := baseMetrics(), baseMetrics()
+	head.Experiments[1].EventsPerSec = 0
+	regs, err := Diff(File{Metrics: base}, File{Metrics: head}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range regs {
+		if strings.Contains(r.Metric, "events_per_sec") {
+			t.Errorf("zero-valued metric diffed as a regression: %v", r)
+		}
+	}
+}
+
+func TestDiffRejectsMixedQuick(t *testing.T) {
+	base, head := baseMetrics(), baseMetrics()
+	head.Quick = false
+	if _, err := Diff(File{Metrics: base}, File{Metrics: head}, 0.5); err == nil {
+		t.Fatal("mixed quick/full diff did not error")
+	}
+}
+
+func TestDiffThresholdBoundary(t *testing.T) {
+	base, head := baseMetrics(), baseMetrics()
+	head.TotalSeconds = base.TotalSeconds * 1.4 // 40% slower
+	regs, err := Diff(File{Metrics: base}, File{Metrics: head}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("40%% growth tripped a 50%% threshold: %v", regs)
+	}
+	regs, err = Diff(File{Metrics: base}, File{Metrics: head}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) == 0 {
+		t.Fatal("40% growth passed a 30% threshold")
+	}
+}
+
+func TestTrajectoryMissingExperiment(t *testing.T) {
+	dir := t.TempDir()
+	old := baseMetrics()
+	newer := baseMetrics()
+	newer.Date = "2026-08-08T00:00:00Z"
+	newer.Experiments = append(newer.Experiments, bench.ExperimentTiming{Name: "resilience", Seconds: 0.1})
+	files, err := Load([]string{
+		record(t, dir, "BENCH_1.json", old),
+		record(t, dir, "BENCH_2.json", newer),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteTrajectory(&sb, files)
+	line := ""
+	for _, l := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(l, "resilience") {
+			line = l
+		}
+	}
+	if line == "" || !strings.Contains(line, "-") {
+		t.Fatalf("experiment absent from older record should print '-': %q", line)
+	}
+}
+
+func TestMetricsOmitsZeroEngineFields(t *testing.T) {
+	// Satellite: the serialized form must omit zero-valued per-experiment
+	// engine fields so trajectory consumers skip them (no phantom zeros).
+	dir := t.TempDir()
+	p := record(t, dir, "BENCH_omit.json", baseMetrics())
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	if strings.Contains(s, `"events_per_sec": 0,`) || strings.Contains(s, `"events_per_sec":0,`) {
+		t.Errorf("zero events_per_sec serialized:\n%s", s)
+	}
+	if !strings.Contains(s, `"name": "tab1"`) {
+		t.Fatalf("tab1 row missing:\n%s", s)
+	}
+	// tab1's object must hold only name and seconds.
+	i := strings.Index(s, `"name": "tab1"`)
+	j := strings.Index(s[i:], "}")
+	tab1 := s[i : i+j]
+	for _, banned := range []string{"sim_seconds", "events_total", "events_per_sec"} {
+		if strings.Contains(tab1, banned) {
+			t.Errorf("tab1 row carries zero-valued %q: %s", banned, tab1)
+		}
+	}
+}

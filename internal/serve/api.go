@@ -60,11 +60,21 @@ type ConfigSpec struct {
 // RunStatus is the job representation returned by POST /v1/runs and
 // GET /v1/runs/{id}.
 type RunStatus struct {
-	ID     string `json:"id"`
-	Key    string `json:"key"` // canonical cache key (dedup identity)
-	Status string `json:"status"`
-	App    string `json:"app"`
-	Design string `json:"design"`
+	ID string `json:"id"`
+	// RequestID identifies the submission that created the job — the key
+	// into the structured logs and the job's Perfetto trace. Dedup'd
+	// submissions see the original job's request ID (their own appears in
+	// the log line that recorded the join).
+	RequestID string `json:"request_id,omitempty"`
+	Key       string `json:"key"` // canonical cache key (dedup identity)
+	Status    string `json:"status"`
+	App       string `json:"app"`
+	Design    string `json:"design"`
+
+	// TraceFile is the job's Perfetto trace path (server -trace-dir only),
+	// populated once the job finishes: serve-tier request spans plus the
+	// engine's task spans and counter tracks on one timeline.
+	TraceFile string `json:"trace_file,omitempty"`
 
 	// Dedup marks a submission that joined an existing job for the same
 	// canonical key instead of costing a new simulation.
@@ -118,6 +128,21 @@ type Health struct {
 	// gap between jobs_completed and runs is the work the warm cache and
 	// dedup saved.
 	Runs int64 `json:"runs_executed"`
+
+	// Latency is the end-to-end request-latency distribution (seconds,
+	// submit to terminal state), estimated from the serve_request_seconds
+	// histogram. Absent until the first job finishes.
+	Latency *LatencySummary `json:"request_latency,omitempty"`
+}
+
+// LatencySummary is an in-process quantile estimate over a latency
+// histogram: p50/p95/p99 in seconds, log-bucket interpolated (factor-2
+// worst-case error; see internal/obs).
+type LatencySummary struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_seconds"`
+	P95   float64 `json:"p95_seconds"`
+	P99   float64 `json:"p99_seconds"`
 }
 
 // knownApp reports whether name is a built-in workload.

@@ -33,7 +33,10 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -80,6 +83,16 @@ type Config struct {
 	// EngineWorkers > 0 additionally runs that many precompute workers
 	// inside each simulation (the parallel engine; needs Checkpoint).
 	EngineWorkers int
+	// TraceDir, when set, writes one Perfetto trace per executed job to
+	// <TraceDir>/<job-id>.trace.json: the serve-tier request spans (submit,
+	// queue wait, run) and the engine's task spans and counter tracks on
+	// one timeline, keyed by request ID. Jobs that dedup onto an existing
+	// key write no new trace.
+	TraceDir string
+	// Logger receives structured request-lifecycle logs keyed by request
+	// ID (submit, run start/done, render, drain). Nil discards them;
+	// cmd/abndpserve installs a JSON handler on stderr.
+	Logger *slog.Logger
 }
 
 // Server is the simulation service. Create with New, mount Handler on an
@@ -89,6 +102,7 @@ type Server struct {
 	base   config.Config
 	runner *bench.Runner
 	mux    *http.ServeMux
+	log    *slog.Logger
 
 	mu       sync.Mutex
 	jobs     map[string]*job // by ID
@@ -96,6 +110,8 @@ type Server struct {
 	nextID   int64
 	draining bool
 	queue    chan *job
+
+	nextReq atomic.Int64 // request-ID sequence (every submission, dedup included)
 
 	wg       sync.WaitGroup // worker pool
 	renderMu sync.Mutex     // serializes experiment renders
@@ -107,10 +123,12 @@ type Server struct {
 // done closes when the job reaches a terminal state.
 type job struct {
 	id    string
+	reqID string // the originating request's ID (dedup joins keep their own)
 	spec  bench.Spec
 	key   string
 	check bool
 	done  chan struct{}
+	trace *obs.ReqTrace // request-scoped spans, anchored at submit
 
 	state              string
 	submitted, started time.Time
@@ -120,16 +138,34 @@ type job struct {
 	errMsg             string
 	hung               bool
 	violations         int
+	traceFile          string
 }
 
-// Process-wide service counters on /debug/vars. Registered once; multiple
-// Server instances (tests) accumulate into the same counters.
+// Process-wide service counters on /debug/vars and /metrics. Registered
+// once; multiple Server instances (tests) accumulate into the same
+// counters.
 var (
 	expSubmitted = obs.Published("serve_jobs_submitted")
 	expDeduped   = obs.Published("serve_jobs_deduped")
 	expRejected  = obs.Published("serve_jobs_rejected")
 	expCompleted = obs.Published("serve_jobs_completed")
 	expFailed    = obs.Published("serve_jobs_failed")
+)
+
+// Request-lifecycle latency histograms, exposed on /metrics in Prometheus
+// text format. Samples are microseconds; the 1e-6 scale renders seconds.
+// p50/p95/p99 are recoverable from the log-spaced buckets — server-side
+// via histogram_quantile, in-process via obs.SyncHist.Quantile (the
+// /healthz latency block).
+var (
+	histQueueWait = obs.PublishedHist("serve_queue_wait_seconds",
+		"Time a job waited in the bounded queue, submit to run start.", 1e-6)
+	histRun = obs.PublishedHist("serve_run_seconds",
+		"Job execution time in the worker pool (memo hits return in microseconds; cold simulations in seconds).", 1e-6)
+	histRequest = obs.PublishedHist("serve_request_seconds",
+		"End-to-end job latency, submit to terminal state.", 1e-6)
+	histRender = obs.PublishedHist("serve_render_seconds",
+		"Experiment table/figure render time (GET /v1/experiments).", 1e-6)
 )
 
 // New builds a Server and starts its worker pool.
@@ -153,10 +189,15 @@ func New(cfg Config) *Server {
 		r.SetEngineParallel(cfg.EngineWorkers)
 	}
 
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		cfg:    cfg,
 		base:   base,
 		runner: r,
+		log:    logger,
 		jobs:   make(map[string]*job),
 		byKey:  make(map[string]*job),
 		queue:  make(chan *job, cfg.QueueSize),
@@ -167,12 +208,26 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.Handle("GET /metrics", obs.PromHandler())
 	obs.PublishedFunc("serve_queue_depth", func() any { return len(s.queue) })
+	obs.PublishedFunc("serve_events_total", func() any {
+		ev, _ := r.EngineTotals()
+		return ev
+	})
+	obs.PublishedFunc("serve_events_per_sec", func() any {
+		ev, sec := r.EngineTotals()
+		if sec <= 0 {
+			return 0.0
+		}
+		return float64(ev) / sec
+	})
 	if st := r.Store(); st != nil {
 		obs.PublishedFunc("serve_ckpt_hits", func() any { return st.Stats().Hits })
 		obs.PublishedFunc("serve_ckpt_misses", func() any { return st.Stats().Misses })
 		obs.PublishedFunc("serve_ckpt_bytes", func() any { return st.Stats().Bytes })
 		obs.PublishedFunc("serve_ckpt_shards", func() any { return st.Stats().Shards })
+		obs.PublishedFunc("serve_ckpt_entries", func() any { return st.Stats().Entries })
+		obs.PublishedFunc("serve_ckpt_evictions", func() any { return st.Stats().Evictions })
 	}
 
 	workers := r.Workers()
@@ -203,17 +258,69 @@ func (s *Server) execute(j *job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	s.mu.Unlock()
+	histQueueWait.Observe(j.started.Sub(j.submitted).Microseconds())
+	s.log.Info("run start", "request_id", j.reqID, "job", j.id,
+		"app", j.spec.App, "design", j.spec.Design.String(),
+		"queue_wait", j.started.Sub(j.submitted))
+
+	// Per-job Perfetto trace: the engine's task spans and counter tracks
+	// land here if (and only if) this job leads the memo computation; the
+	// serve-tier request spans are appended after the run, so both tiers
+	// share one timeline keyed by the request ID.
+	var (
+		tf *os.File
+		tr *obs.Tracer
+		o  *obs.Observer
+	)
+	if s.cfg.TraceDir != "" {
+		path := filepath.Join(s.cfg.TraceDir, j.id+".trace.json")
+		f, err := os.Create(path)
+		if err != nil {
+			s.log.Warn("trace file create failed", "request_id", j.reqID, "path", path, "err", err)
+		} else {
+			tf, tr = f, obs.NewTracer(f, j.spec.Config.CoreGHz)
+			o = &obs.Observer{Trace: tr, SampleInterval: 1024}
+		}
+	}
 
 	// Background suffices as the wait context: the computation — whether
 	// this job leads it or joins a leader for the same key — is bounded by
 	// the crash guard's per-run deadline, which releases every waiter with
 	// the recorded failure when it fires.
-	res, err := s.runner.RunOne(context.Background(), j.spec, j.check)
+	res, err := s.runner.RunOneObserved(context.Background(), j.spec, j.check, o)
 	vs := len(s.runner.CheckViolationsFor(j.key))
+	finished := time.Now()
+	histRun.Observe(finished.Sub(j.started).Microseconds())
+	histRequest.Observe(finished.Sub(j.submitted).Microseconds())
+
+	hung := false
+	if re, ok := err.(*bench.RunError); ok {
+		hung = re.Failure.Hung
+	}
+	traceFile := ""
+	if tr != nil {
+		if hung {
+			// The abandoned run's goroutine may still be writing to the
+			// tracer; closing or appending here would race. Leak the file
+			// handle and drop the trace rather than corrupt it.
+			s.log.Warn("abandoning trace of hung run", "request_id", j.reqID, "job", j.id)
+		} else {
+			j.trace.Span("queue wait", j.submitted, j.started)
+			j.trace.Span("run", j.started, finished, "key", j.key)
+			j.trace.WriteTo(tr)
+			if cerr := tr.Close(); cerr != nil {
+				s.log.Warn("trace close failed", "request_id", j.reqID, "err", cerr)
+			} else {
+				traceFile = tf.Name()
+			}
+			_ = tf.Close()
+		}
+	}
 
 	s.mu.Lock()
-	j.finished = time.Now()
+	j.finished = finished
 	j.violations = vs
+	j.traceFile = traceFile
 	switch {
 	case err != nil:
 		j.state = StateFailed
@@ -233,9 +340,15 @@ func (s *Server) execute(j *job) {
 	if err != nil {
 		s.failed.Add(1)
 		expFailed.Add(1)
+		s.log.Error("run failed", "request_id", j.reqID, "job", j.id,
+			"err", err.Error(), "hung", hung,
+			"elapsed", finished.Sub(j.started))
 	} else {
 		s.completed.Add(1)
 		expCompleted.Add(1)
+		s.log.Info("run done", "request_id", j.reqID, "job", j.id,
+			"hash", fmt.Sprintf("%016x", j.hash),
+			"elapsed", finished.Sub(j.started), "trace", traceFile)
 	}
 }
 
@@ -256,11 +369,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := spec.Key()
+	rid := fmt.Sprintf("req-%06d", s.nextReq.Add(1))
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		s.log.Info("submit rejected", "request_id", rid, "reason", "draining", "app", spec.App)
 		return
 	}
 	s.submitted.Add(1)
@@ -272,16 +387,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		expDeduped.Add(1)
 		st.Dedup = true
 		writeJSON(w, http.StatusOK, st)
+		s.log.Info("submit dedup", "request_id", rid, "job", st.ID,
+			"joined_request_id", st.RequestID, "key", key)
 		return
 	}
+	now := time.Now()
 	j := &job{
+		reqID:     rid,
 		spec:      spec,
 		key:       key,
 		check:     req.Check,
 		done:      make(chan struct{}),
 		state:     StateQueued,
-		submitted: time.Now(),
+		submitted: now,
+		trace:     obs.NewReqTrace(rid),
 	}
+	j.trace.Span("submit", now, now, "app", spec.App, "design", spec.Design.String())
 	select {
 	case s.queue <- j:
 	default:
@@ -290,6 +411,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		expRejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "job queue full (%d pending); retry later", cap(s.queue))
+		s.log.Warn("submit rejected", "request_id", rid, "reason", "queue full",
+			"app", spec.App, "queue_cap", cap(s.queue))
 		return
 	}
 	s.nextID++
@@ -299,6 +422,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	st := s.statusLocked(j)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusAccepted, st)
+	s.log.Info("submit accepted", "request_id", rid, "job", j.id,
+		"app", spec.App, "design", spec.Design.String(), "key", key)
 }
 
 // handleRun reports one job. ?wait=DURATION blocks until the job reaches
@@ -337,10 +462,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // but overlap normal job execution freely.
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	t0 := time.Now()
 	s.renderMu.Lock()
 	var buf bytes.Buffer
 	err := s.runner.RenderTo(&buf, name)
 	s.renderMu.Unlock()
+	histRender.ObserveSince(t0)
+	s.log.Info("render", "experiment", name, "elapsed", time.Since(t0), "err", errStr(err))
 	if err != nil {
 		if strings.Contains(err.Error(), "unknown experiment") {
 			httpError(w, http.StatusNotFound, "%v", err)
@@ -371,6 +499,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Failed:     s.failed.Load(),
 		Runs:       s.runner.RunsExecuted(),
 	}
+	if snap := histRequest.Snapshot(); snap.Count > 0 {
+		h.Latency = &LatencySummary{
+			Count: snap.Count,
+			P50:   histRequest.Quantile(0.50),
+			P95:   histRequest.Quantile(0.95),
+			P99:   histRequest.Quantile(0.99),
+		}
+	}
 	code := http.StatusOK
 	if draining {
 		h.Status = "draining"
@@ -383,8 +519,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) statusLocked(j *job) *RunStatus {
 	st := &RunStatus{
 		ID:              j.id,
+		RequestID:       j.reqID,
 		Key:             j.key,
 		Status:          j.state,
+		TraceFile:       j.traceFile,
 		App:             j.spec.App,
 		Design:          j.spec.Design.String(),
 		Error:           j.errMsg,
@@ -421,6 +559,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	if !s.draining {
 		s.draining = true
 		close(s.queue)
+		s.log.Info("drain start", "queued", len(s.queue))
 	}
 	s.mu.Unlock()
 	done := make(chan struct{})
@@ -450,4 +589,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func errStr(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
