@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet audit bench perf experiments figures serve serve-test clean
+.PHONY: all build test vet audit bench perf experiments figures serve proxy serve-test clean
 
 all: vet test build
 
@@ -43,10 +43,18 @@ perf:
 serve:
 	$(GO) run ./cmd/abndpserve
 
+# The fleet coordinator (docs/SERVING.md, "Serving fleets"): point it at
+# running abndpserve backends, e.g.
+#   make proxy PROXY_BACKENDS=http://127.0.0.1:8081,http://127.0.0.1:8082
+PROXY_BACKENDS ?= http://127.0.0.1:8081,http://127.0.0.1:8082
+proxy:
+	$(GO) run ./cmd/abndpproxy -backends $(PROXY_BACKENDS)
+
 # The serving layer's concurrency tests (dedup, backpressure, deadlines,
-# drain) plus the harness regression tests they lean on, race-enabled.
+# drain, fleet routing/failover) plus the harness regression tests they
+# lean on, race-enabled.
 serve-test:
-	$(GO) test -race ./internal/serve/ ./client/
+	$(GO) test -race ./internal/serve/ ./internal/fleet/ ./client/
 	$(GO) test -race -run 'TestMemo|TestRunOne|TestValidateWorkers|TestTimeline' ./internal/bench/ ./internal/stats/
 
 # Regenerate every table and figure of the paper (text tables to stdout).

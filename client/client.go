@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"time"
@@ -62,6 +63,89 @@ func (e *APIError) Unwrap() error {
 	return nil
 }
 
+// Backoff is the retry policy SubmitWait applies to transient rejections:
+// capped, jittered exponential backoff that honors the server's
+// Retry-After hint as a floor and respects context cancellation while
+// sleeping. The zero value means the defaults noted per field — a Client
+// works without configuring anything here.
+type Backoff struct {
+	// Base is the pre-jitter delay of the first retry (default 200ms).
+	Base time.Duration
+	// Max caps the exponential growth (default 5s). A larger server
+	// Retry-After hint still wins — the server knows its backlog; the cap
+	// tames the client's own growth, not the server's explicit ask.
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier (default 2).
+	Factor float64
+	// Jitter is the fraction of each delay that is randomized, in [0, 1]
+	// (default 0.5): the delay is drawn uniformly from
+	// [d·(1-Jitter), d]. Jitter decorrelates the retry storms of clients
+	// rejected together. Set -1 for none (tests).
+	Jitter float64
+	// MaxAttempts bounds the submissions SubmitWait makes; 0 means retry
+	// until the context ends. When positive, draining (503) rejections are
+	// retried too — against a fleet proxy they mean "no backend admits
+	// work right now", which a backend restart cures; when 0, draining
+	// still fails fast so a standalone client cannot spin forever against
+	// a server that will never come back.
+	MaxAttempts int
+	// Rand overrides the jitter source with a func returning [0,1)
+	// (tests); nil uses math/rand.
+	Rand func() float64
+}
+
+// Delay returns the backoff before retry attempt (0-based), jittered,
+// capped at Max, and floored by the server's Retry-After hint.
+func (b Backoff) Delay(attempt int, hint time.Duration) time.Duration {
+	base, max, factor, jitter := b.Base, b.Max, b.Factor, b.Jitter
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	if factor < 1 {
+		factor = 2
+	}
+	switch {
+	case jitter == 0:
+		jitter = 0.5
+	case jitter < 0:
+		jitter = 0
+	case jitter > 1:
+		jitter = 1
+	}
+	d := float64(base)
+	for i := 0; i < attempt && d < float64(max); i++ {
+		d *= factor
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	r := b.Rand
+	if r == nil {
+		r = rand.Float64
+	}
+	d = d*(1-jitter) + r()*d*jitter
+	if delay := time.Duration(d); delay >= hint {
+		return delay
+	}
+	return hint
+}
+
+// Sleep blocks for Delay(attempt, hint) or until ctx is done, returning
+// ctx's error in that case — a canceled caller never waits out a backoff.
+func (b Backoff) Sleep(ctx context.Context, attempt int, hint time.Duration) error {
+	t := time.NewTimer(b.Delay(attempt, hint))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Client talks to one abndpserve instance.
 type Client struct {
 	// BaseURL is the service root, e.g. "http://localhost:8080".
@@ -70,6 +154,9 @@ type Client struct {
 	// (requests are bounded by their contexts; long-polls outlive any
 	// fixed client timeout).
 	HTTP *http.Client
+	// Retry is SubmitWait's backoff policy; the zero value uses the
+	// documented defaults.
+	Retry Backoff
 }
 
 // New returns a Client for the service at baseURL.
@@ -174,29 +261,31 @@ func (c *Client) Wait(ctx context.Context, id string) (*RunStatus, error) {
 	}
 }
 
-// SubmitWait submits req, retrying queue-full rejections with the server's
-// Retry-After backoff, then waits for the job to finish. The job may still
-// have failed — check Status and Error on the returned RunStatus.
+// SubmitWait submits req, retrying queue-full (and, with a bounded
+// policy, draining) rejections under the Retry policy — jittered
+// exponential backoff floored by the server's Retry-After hint,
+// interruptible by ctx — then waits for the job to finish. The job may
+// still have failed — check Status and Error on the returned RunStatus.
 func (c *Client) SubmitWait(ctx context.Context, req RunRequest) (*RunStatus, error) {
 	var st *RunStatus
-	for {
+	for attempt := 0; ; attempt++ {
 		var err error
 		st, err = c.Submit(ctx, req)
 		if err == nil {
 			break
 		}
 		var ae *APIError
-		if !errors.As(err, &ae) || !errors.Is(err, ErrQueueFull) {
+		retryable := errors.As(err, &ae) &&
+			(errors.Is(err, ErrQueueFull) ||
+				(errors.Is(err, ErrDraining) && c.Retry.MaxAttempts > 0))
+		if !retryable {
 			return nil, err
 		}
-		backoff := ae.RetryAfter
-		if backoff <= 0 {
-			backoff = time.Second
+		if c.Retry.MaxAttempts > 0 && attempt+1 >= c.Retry.MaxAttempts {
+			return nil, err
 		}
-		select {
-		case <-time.After(backoff):
-		case <-ctx.Done():
-			return nil, ctx.Err()
+		if serr := c.Retry.Sleep(ctx, attempt, ae.RetryAfter); serr != nil {
+			return nil, serr
 		}
 	}
 	return c.Wait(ctx, st.ID)

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -83,6 +84,108 @@ func TestClientRoundTrip(t *testing.T) {
 		t.Fatal("bad submit did not error")
 	} else if !strings.Contains(err.Error(), "unknown workload") {
 		t.Fatalf("bad submit error %v lacks the server message", err)
+	}
+}
+
+// TestBackoffDelay pins the policy arithmetic: exponential growth from
+// Base by Factor, capped at Max, floored by the server's Retry-After
+// hint, with jitter drawing from [d·(1-Jitter), d].
+func TestBackoffDelay(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 400 * time.Millisecond, Factor: 2, Jitter: -1}
+	for attempt, want := range []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond, 400 * time.Millisecond,
+	} {
+		if got := b.Delay(attempt, 0); got != want {
+			t.Errorf("Delay(%d) = %v, want %v", attempt, got, want)
+		}
+	}
+	// The server's hint floors the delay, even past the cap.
+	if got := b.Delay(0, 3*time.Second); got != 3*time.Second {
+		t.Errorf("hinted Delay = %v, want 3s", got)
+	}
+	// Jitter bounds: with Rand pinned to the extremes the delay spans
+	// exactly [d/2, d] at Jitter 0.5.
+	lo := Backoff{Base: 100 * time.Millisecond, Jitter: 0.5, Rand: func() float64 { return 0 }}
+	if got := lo.Delay(0, 0); got != 50*time.Millisecond {
+		t.Errorf("low-jitter Delay = %v, want 50ms", got)
+	}
+	hi := Backoff{Base: 100 * time.Millisecond, Jitter: 0.5, Rand: func() float64 { return 0.999999 }}
+	if got := hi.Delay(0, 0); got <= 50*time.Millisecond || got > 100*time.Millisecond {
+		t.Errorf("high-jitter Delay = %v, want in (50ms, 100ms]", got)
+	}
+	// Defaults: zero value yields a sane first delay.
+	if got := (Backoff{Rand: func() float64 { return 0.5 }}).Delay(0, 0); got < 100*time.Millisecond || got > 200*time.Millisecond {
+		t.Errorf("default Delay = %v, want in [100ms, 200ms]", got)
+	}
+}
+
+// TestSubmitWaitBackoffCancel is the regression test for cancellation
+// during backoff: a server that always answers 429 with a long
+// Retry-After must not hold a canceled SubmitWait hostage — the call
+// returns the context error as soon as the context ends, not after the
+// hinted sleep.
+func TestSubmitWaitBackoffCancel(t *testing.T) {
+	var calls int32
+	h := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":"job queue full (1 pending); retry later"}`))
+	}))
+	defer h.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := New(h.URL).SubmitWait(ctx, RunRequest{App: "pr", Design: "O"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("canceled SubmitWait slept %v against a 30s Retry-After", elapsed)
+	}
+	if atomic.LoadInt32(&calls) == 0 {
+		t.Fatal("no submission attempted")
+	}
+}
+
+// TestSubmitWaitRetriesThenSucceeds drives SubmitWait through two 429
+// rejections into an accepted, completed job, and checks the attempt
+// count and that MaxAttempts gives up with the rejection error.
+func TestSubmitWaitRetriesThenSucceeds(t *testing.T) {
+	var submits int32
+	h := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost:
+			if atomic.AddInt32(&submits, 1) <= 2 {
+				w.Header().Set("Retry-After", "0")
+				w.WriteHeader(http.StatusTooManyRequests)
+				_, _ = w.Write([]byte(`{"error":"job queue full (1 pending); retry later"}`))
+				return
+			}
+			w.WriteHeader(http.StatusAccepted)
+			_, _ = w.Write([]byte(`{"id":"run-000001","status":"queued"}`))
+		default:
+			_, _ = w.Write([]byte(`{"id":"run-000001","status":"done","result_hash":"abc"}`))
+		}
+	}))
+	defer h.Close()
+
+	c := New(h.URL)
+	c.Retry = Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond, Jitter: -1}
+	st, err := c.SubmitWait(context.Background(), RunRequest{App: "pr", Design: "O"})
+	if err != nil {
+		t.Fatalf("SubmitWait: %v", err)
+	}
+	if st.Status != "done" || atomic.LoadInt32(&submits) != 3 {
+		t.Fatalf("status %q after %d submits, want done after 3", st.Status, submits)
+	}
+
+	// A bounded policy gives up with the server's rejection.
+	atomic.StoreInt32(&submits, -1000) // never succeeds within the bound
+	c.Retry.MaxAttempts = 2
+	if _, err := c.SubmitWait(context.Background(), RunRequest{App: "pr", Design: "O"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("bounded SubmitWait err = %v, want ErrQueueFull", err)
 	}
 }
 

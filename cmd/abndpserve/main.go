@@ -7,6 +7,7 @@
 //
 //	abndpserve                        # serve on :8080
 //	abndpserve -addr :9000 -j 8       # 8 simulation workers
+//	abndpserve -id b1                 # named backend inside an abndpproxy fleet
 //	abndpserve -quick                 # shrunken default workloads (demo)
 //	abndpserve -queue 128             # larger pending-job queue
 //	abndpserve -check                 # audit every simulation
@@ -44,6 +45,7 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		id       = flag.String("id", "", "backend ID within a serving fleet (echoed as X-ABNDP-Backend and in job statuses; see abndpproxy)")
 		jobs     = flag.Int("j", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
 		serial   = flag.Bool("serial", false, "one simulation at a time (equivalent to -j 1)")
 		queue    = flag.Int("queue", 64, "pending-job queue capacity (full queue returns 429)")
@@ -81,6 +83,7 @@ func main() {
 	}
 
 	srv := serve.New(serve.Config{
+		ID:            *id,
 		Workers:       workers,
 		QueueSize:     *queue,
 		RunDeadline:   *rdl,
@@ -113,18 +116,19 @@ func main() {
 	}
 	stop()
 
-	// Graceful drain: close admissions first (new submissions see 503 /
-	// connection refused), then let queued and running jobs finish, bounded
-	// by -draintimeout.
+	// Graceful drain: admissions close first (new submissions see 503 and
+	// /readyz flips to "draining"), then queued and running jobs finish,
+	// bounded by -draintimeout. The listener stays open for the whole
+	// drain so clients can still poll results and fleet probes observe
+	// "draining" rather than a dead socket; it closes only once the pool
+	// is idle.
 	logger.Info("draining", "timeout", drainTO.String())
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
-	drained := make(chan error, 1)
-	go func() { drained <- srv.Drain(dctx) }()
-	_ = httpSrv.Shutdown(dctx)
-	if err := <-drained; err != nil {
+	if err := srv.Drain(dctx); err != nil {
 		logger.Error("drain timed out", "err", err.Error())
 	}
+	_ = httpSrv.Shutdown(dctx)
 
 	// Flush harness metrics now that the pool is idle.
 	m := srv.Runner().Metrics()

@@ -1,0 +1,321 @@
+// Package fleet is the serving-tier coordinator behind cmd/abndpproxy: a
+// reverse proxy that fronts N abndpserve backends and makes the fleet
+// survive the failures internal/fault already simulates inside the
+// engine — crashed, hung, and draining backends.
+//
+// The design dogfoods the paper's thesis. ABNDP routes a task to the unit
+// whose caches are warm for its data unless the load-imbalance cost
+// outweighs the locality win; the fleet routes a submission to the
+// backend whose memo and checkpoint caches are warm for its canonical
+// key unless that backend's observed load (or health) says otherwise:
+//
+//   - consistent-hash routing on serve.RouteKey — identical submissions
+//     from different clients land on one backend and join one job, so
+//     dedup works fleet-wide, not just per-process;
+//   - multi-factor overrides in the TiProxy style: per-backend readiness
+//     probes (/readyz), a consecutive-failure circuit breaker with
+//     half-open recovery, observed queue depth and service rate, and
+//     drain detection — a sick backend is routed around before it times
+//     out;
+//   - failure handling: submissions that fail mid-flight (connection
+//     refused, 5xx, per-attempt deadline) re-dispatch to the next healthy
+//     ring successor with capped exponential backoff plus jitter
+//     (client.Backoff), honoring 429/503 Retry-After; jobs whose owner
+//     dies mid-run re-dispatch transparently during the client's poll;
+//   - integrity: when a job is re-dispatched after a backend death, the
+//     proxy cross-checks the new result_hash against any hash the dead
+//     owner already reported — the engine's FNV-1a determinism hash
+//     doubles as a fleet-level integrity check;
+//   - hedged reads: a long-tail ?wait poll optionally races a second
+//     backend known to hold the same completed result.
+//
+// See docs/SERVING.md ("Serving fleets") for the topology, routing
+// factors, and failure matrix.
+package fleet
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"abndp/client"
+	"abndp/internal/obs"
+)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Backends are the abndpserve base URLs the fleet routes across.
+	Backends []string
+
+	// ProbeInterval is the readiness-probe period (default 500ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each probe (default 2s).
+	ProbeTimeout time.Duration
+	// FailThreshold is the consecutive-failure count that opens a
+	// backend's circuit breaker (default 3).
+	FailThreshold int
+	// HalfOpenAfter is how long an open breaker waits before its next
+	// half-open trial (default 3s).
+	HalfOpenAfter time.Duration
+	// Replicas is the virtual-point count per backend on the hash ring
+	// (default 64).
+	Replicas int
+
+	// MaxAttempts is the number of full-fleet dispatch rounds before a
+	// submission is rejected back to the client (default 3). Within one
+	// round every admissible backend is tried once.
+	MaxAttempts int
+	// AttemptTimeout bounds each forwarded submit/probe attempt (default
+	// 15s). Long-polls are bounded by the client's wait, not this.
+	AttemptTimeout time.Duration
+	// Retry is the backoff between dispatch rounds; the zero value uses
+	// client.Backoff's defaults. Server Retry-After hints floor the delay.
+	Retry client.Backoff
+
+	// BalanceRatio and BalanceSlack tune the load override: the key's
+	// ring owner is skipped for the least-loaded admissible backend when
+	// owner.ExpectedWait > BalanceRatio·best.ExpectedWait + BalanceSlack
+	// seconds (defaults 4 and 1). The slack keeps sub-second imbalances
+	// from defeating cache affinity — the same remote-cost-vs-balance
+	// tradeoff the paper's hybrid scheduler makes, applied to serving.
+	BalanceRatio float64
+	BalanceSlack float64
+
+	// HedgeDelay, when positive, races a ?wait poll against a second
+	// backend known to hold the same completed result once the primary
+	// has been silent this long. Zero disables hedging.
+	HedgeDelay time.Duration
+
+	// Logger receives routing and failover logs; nil discards them.
+	Logger *slog.Logger
+}
+
+func (c *Config) fillDefaults() {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.HalfOpenAfter <= 0 {
+		c.HalfOpenAfter = 3 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 15 * time.Second
+	}
+	if c.BalanceRatio <= 0 {
+		c.BalanceRatio = 4
+	}
+	if c.BalanceSlack <= 0 {
+		c.BalanceSlack = 1
+	}
+}
+
+// Fleet-wide counters on /debug/vars and the proxy's /metrics.
+var (
+	fleetSubmitted      = obs.Published("fleet_jobs_submitted")
+	fleetDeduped        = obs.Published("fleet_jobs_deduped")
+	fleetRejected       = obs.Published("fleet_jobs_rejected")
+	fleetDispatches     = obs.Published("fleet_dispatches_total")
+	fleetRetryRounds    = obs.Published("fleet_dispatch_retry_rounds_total")
+	fleetFailovers      = obs.Published("fleet_failovers_total")
+	fleetLoadReroutes   = obs.Published("fleet_load_reroutes_total")
+	fleetHashMismatches = obs.Published("fleet_hash_mismatches_total")
+	fleetHedgedReads    = obs.Published("fleet_hedged_reads_total")
+	fleetHedgeWins      = obs.Published("fleet_hedge_wins_total")
+	fleetBreakerOpens   = obs.Published("fleet_breaker_opens_total")
+	fleetProbes         = obs.Published("fleet_probes_total")
+	fleetProbeFailures  = obs.Published("fleet_probe_failures_total")
+)
+
+// Coordinator fronts the backend fleet. Create with New, mount Handler,
+// and Close on shutdown.
+type Coordinator struct {
+	cfg      Config
+	backends []*Backend
+	ring     *ring
+	hc       *http.Client // forwarded requests (no overall timeout; per-call contexts bound them)
+	probeHC  *http.Client // probes, bounded by ProbeTimeout
+	log      *slog.Logger
+	mux      *http.ServeMux
+
+	coordCounters // per-coordinator /healthz counters
+
+	mu      sync.Mutex
+	jobs    map[string]*pjob // by fleet job ID
+	byKey   map[string]*pjob // fleet-wide dedup: route key -> job
+	holders map[string]map[*Backend]holder
+	nextID  int64
+
+	probeStop context.CancelFunc
+	probeWG   sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// holder records one backend's copy of a job: the backend-local run ID
+// and, once terminal, the reported result hash. Holders power failover
+// (the proxy knows where else the key lives) and hedged reads.
+type holder struct {
+	runID string
+	done  bool
+	hash  string
+}
+
+// New builds a Coordinator, performs one synchronous probe round so
+// routing starts with real health, and starts the background prober.
+func New(cfg Config) (*Coordinator, error) {
+	cfg.fillDefaults()
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		hc:      &http.Client{},
+		probeHC: &http.Client{Timeout: cfg.ProbeTimeout},
+		log:     logger,
+		jobs:    make(map[string]*pjob),
+		byKey:   make(map[string]*pjob),
+		holders: make(map[string]map[*Backend]holder),
+	}
+	urls := make([]string, 0, len(cfg.Backends))
+	for _, raw := range cfg.Backends {
+		b, err := newBackend(raw, cfg.FailThreshold, cfg.HalfOpenAfter)
+		if err != nil {
+			return nil, err
+		}
+		c.backends = append(c.backends, b)
+		urls = append(urls, b.URL)
+	}
+	c.ring = newRing(urls, cfg.Replicas)
+	c.probeAll() // synchronous first round: route on real health from request one
+
+	ctx, stop := context.WithCancel(context.Background())
+	c.probeStop = stop
+	c.probeWG.Add(1)
+	go c.probeLoop(ctx)
+
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST /v1/runs", c.handleSubmit)
+	c.mux.HandleFunc("GET /v1/runs/{id}", c.handleRun)
+	c.mux.HandleFunc("GET /v1/experiments/{name}", c.handleExperiment)
+	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+	c.mux.Handle("GET /metrics", obs.PromHandler())
+	return c, nil
+}
+
+// Handler returns the proxy's HTTP handler (the same API surface as one
+// abndpserve backend, plus the fleet /healthz and /metrics).
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Backends exposes the fleet's backend states (tests, health).
+func (c *Coordinator) Backends() []*Backend { return c.backends }
+
+// Close stops the background prober.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() {
+		c.probeStop()
+		c.probeWG.Wait()
+	})
+}
+
+// probeLoop refreshes every backend on ProbeInterval until Close.
+func (c *Coordinator) probeLoop(ctx context.Context) {
+	defer c.probeWG.Done()
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.probeAll()
+		}
+	}
+}
+
+// probeAll probes every backend concurrently and logs state transitions.
+func (c *Coordinator) probeAll() {
+	var wg sync.WaitGroup
+	for _, b := range c.backends {
+		wg.Add(1)
+		go func(b *Backend) {
+			defer wg.Done()
+			before := b.Health()
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+			defer cancel()
+			err := b.Probe(ctx, c.probeHC)
+			after := b.Health()
+			if before.State != after.State || before.Ready != after.Ready || before.Draining != after.Draining {
+				c.log.Info("backend state change", "backend", after.ID, "url", b.URL,
+					"state", after.State, "ready", after.Ready, "draining", after.Draining,
+					"err", errStr(err))
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
+// pick chooses the backend for key: the ring owner for cache affinity,
+// overridden by health (breaker, readiness, drain), saturation, and the
+// load-balance factor. exclude removes backends from consideration (e.g.
+// the owner that just died during failover). Returns nil when no backend
+// is admissible.
+func (c *Coordinator) pick(key string, exclude func(*Backend) bool) *Backend {
+	now := time.Now()
+	var admissible []*Backend // in ring order
+	for _, idx := range c.ring.order(key) {
+		b := c.backends[idx]
+		if exclude != nil && exclude(b) {
+			continue
+		}
+		if !b.Admitted(now) {
+			continue
+		}
+		admissible = append(admissible, b)
+	}
+	if len(admissible) == 0 {
+		return nil
+	}
+	// Prefer unsaturated backends; fall back to saturated ones only when
+	// every candidate is full (the backend's own 429 then sets the pace).
+	unsat := admissible[:0:0]
+	for _, b := range admissible {
+		if !b.Saturated() {
+			unsat = append(unsat, b)
+		}
+	}
+	if len(unsat) > 0 {
+		admissible = unsat
+	}
+	primary, best := admissible[0], admissible[0]
+	bestWait := best.ExpectedWait()
+	for _, b := range admissible[1:] {
+		if w := b.ExpectedWait(); w < bestWait {
+			best, bestWait = b, w
+		}
+	}
+	if best != primary && primary.ExpectedWait() > c.cfg.BalanceRatio*bestWait+c.cfg.BalanceSlack {
+		fleetLoadReroutes.Add(1)
+		c.log.Info("load reroute", "key", key, "owner", primary.ID(), "to", best.ID(),
+			"owner_wait", primary.ExpectedWait(), "best_wait", bestWait)
+		return best
+	}
+	return primary
+}
+
+func errStr(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

@@ -1,0 +1,433 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"abndp/client"
+	"abndp/internal/serve"
+)
+
+// stubBackend is a scriptable abndpserve stand-in: a /readyz that follows
+// an atomic readiness flag plus caller-supplied run handlers.
+type stubBackend struct {
+	id       string
+	ready    atomic.Bool
+	submits  atomic.Int32
+	submitFn func(n int32, w http.ResponseWriter, r *http.Request)
+	getFn    func(w http.ResponseWriter, r *http.Request)
+	srv      *httptest.Server
+}
+
+func newStub(t *testing.T, id string) *stubBackend {
+	t.Helper()
+	s := &stubBackend{id: id}
+	s.ready.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		rd := serve.Ready{Status: "ready", BackendID: s.id, Workers: 1, QueueCap: 8}
+		code := http.StatusOK
+		if !s.ready.Load() {
+			rd.Status = "starting"
+			code = http.StatusServiceUnavailable
+		}
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(rd)
+	})
+	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		s.submitFn(s.submits.Add(1), w, r)
+	})
+	mux.HandleFunc("GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s.getFn(w, r)
+	})
+	s.srv = httptest.NewServer(mux)
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+// fastCfg is a test-speed fleet config over the given backends.
+func fastCfg(urls ...string) Config {
+	return Config{
+		Backends:      urls,
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		FailThreshold: 2,
+		HalfOpenAfter: 100 * time.Millisecond,
+		MaxAttempts:   3,
+		Retry:         client.Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond, Jitter: -1},
+	}
+}
+
+func newTestCoord(t *testing.T, cfg Config) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		c.Close()
+	})
+	return c, ts
+}
+
+func proxyPost(t *testing.T, ts *httptest.Server, body string) (*serve.RunStatus, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/runs: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var st serve.RunStatus
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("decode %q: %v", raw, err)
+		}
+	} else {
+		st.Error = string(raw)
+	}
+	return &st, resp
+}
+
+func proxyGet(t *testing.T, ts *httptest.Server, id, query string) (*serve.RunStatus, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/runs/" + id + query)
+	if err != nil {
+		t.Fatalf("GET run: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var st serve.RunStatus
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("decode %q: %v", raw, err)
+		}
+	} else {
+		st.Error = string(raw)
+	}
+	return &st, resp
+}
+
+// waitFor polls cond until it holds or the deadline fails the test.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestBreakerLifecycle pins the circuit-breaker state machine: closed
+// until FailThreshold consecutive failures, open rejects, half-open after
+// the cool-down, instant re-open on a half-open failure, closed on
+// success.
+func TestBreakerLifecycle(t *testing.T) {
+	b, err := newBackend("http://127.0.0.1:1", 3, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.mu.Lock()
+	b.ready = true // pretend a probe admitted it; the test drives Fail/OK directly
+	b.mu.Unlock()
+
+	now := time.Now()
+	b.Fail("x")
+	b.Fail("x")
+	if !b.Admitted(now) || b.Health().State != BreakerClosed {
+		t.Fatalf("breaker opened below threshold: %+v", b.Health())
+	}
+	b.Fail("x")
+	if b.Admitted(now) || b.Health().State != BreakerOpen {
+		t.Fatalf("breaker not open after 3 consecutive failures: %+v", b.Health())
+	}
+	// Before the cool-down: still open. After: half-open and admitted.
+	if b.Admitted(now.Add(10 * time.Millisecond)) {
+		t.Fatal("open breaker admitted before the cool-down")
+	}
+	if !b.Admitted(time.Now().Add(60*time.Millisecond)) || b.Health().State != BreakerHalfOpen {
+		t.Fatalf("breaker not half-open after cool-down: %+v", b.Health())
+	}
+	// One half-open failure re-opens immediately, threshold ignored.
+	b.Fail("x")
+	if b.Health().State != BreakerOpen {
+		t.Fatalf("half-open failure did not re-open: %+v", b.Health())
+	}
+	// Success closes from any state.
+	b.OK()
+	if !b.Admitted(now) || b.Health().State != BreakerClosed {
+		t.Fatalf("success did not close the breaker: %+v", b.Health())
+	}
+}
+
+// TestDispatchRetriesAfterRejection drives a submission through a 429
+// rejection into acceptance: the proxy backs off (honoring Retry-After)
+// and retries the same backend rather than surfacing the rejection.
+func TestDispatchRetriesAfterRejection(t *testing.T) {
+	stub := newStub(t, "s1")
+	stub.submitFn = func(n int32, w http.ResponseWriter, r *http.Request) {
+		if n == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_, _ = w.Write([]byte(`{"error":"job queue full (8 pending); retry later"}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(serve.RunStatus{ID: "run-000001", Status: serve.StateQueued, Backend: "s1"})
+	}
+	stub.getFn = func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(serve.RunStatus{ID: "run-000001", Status: serve.StateDone, ResultHash: "00aa", Backend: "s1"})
+	}
+
+	cfg := fastCfg(stub.srv.URL)
+	// A 1s Retry-After would stall the test; verify the hint floors the
+	// delay by timing the dispatch instead of waiting the full second.
+	_, ts := newTestCoord(t, cfg)
+	start := time.Now()
+	st, resp := proxyPost(t, ts, `{"app":"pr","design":"O"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d (%s)", resp.StatusCode, st.Error)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("dispatch returned in %v; the 1s Retry-After hint was not honored", elapsed)
+	}
+	if st.ID != "job-000001" || st.Backend != "s1" {
+		t.Fatalf("status not rewritten into the fleet namespace: %+v", st)
+	}
+	if got := stub.submits.Load(); got != 2 {
+		t.Fatalf("backend saw %d submits, want 2 (rejected then accepted)", got)
+	}
+
+	final, _ := proxyGet(t, ts, st.ID, "?wait=5s")
+	if final.Status != serve.StateDone || final.ResultHash != "00aa" {
+		t.Fatalf("final status %+v, want done/00aa", final)
+	}
+}
+
+// TestSubmitRoutesAroundDeadBackend starts a fleet where one backend is
+// already dead: submissions must land on the survivor without a
+// client-visible error, and the dead backend's breaker must open from
+// probe failures alone.
+func TestSubmitRoutesAroundDeadBackend(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // connection refused from the first probe on
+
+	live := newStub(t, "alive")
+	live.submitFn = func(n int32, w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(serve.RunStatus{ID: "run-000001", Status: serve.StateQueued, Backend: "alive"})
+	}
+	live.getFn = func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(serve.RunStatus{ID: "run-000001", Status: serve.StateDone, ResultHash: "00bb", Backend: "alive"})
+	}
+
+	c, ts := newTestCoord(t, fastCfg(deadURL, live.srv.URL))
+	st, resp := proxyPost(t, ts, `{"app":"pr","design":"O"}`)
+	if resp.StatusCode != http.StatusAccepted || st.Backend != "alive" {
+		t.Fatalf("submit: status %d backend %q, want 202 on the survivor (%s)", resp.StatusCode, st.Backend, st.Error)
+	}
+	final, _ := proxyGet(t, ts, st.ID, "?wait=5s")
+	if final.Status != serve.StateDone {
+		t.Fatalf("final status %+v, want done", final)
+	}
+
+	waitFor(t, "dead backend's breaker to open", func() bool {
+		for _, b := range c.Backends() {
+			if b.URL == deadURL {
+				return b.Health().State == BreakerOpen
+			}
+		}
+		return false
+	})
+}
+
+// TestFailoverHashMismatch is the integrity check's negative test: when a
+// re-dispatch after the owner's death produces a different result_hash
+// than the owner already reported, the proxy must refuse to serve either
+// answer (502) and count the violation.
+func TestFailoverHashMismatch(t *testing.T) {
+	b1 := newStub(t, "b1")
+	b1.submitFn = func(n int32, w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(serve.RunStatus{ID: "run-b1", Status: serve.StateQueued, Backend: "b1"})
+	}
+	b1.getFn = func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(serve.RunStatus{ID: "run-b1", Status: serve.StateDone, ResultHash: "1111", Backend: "b1"})
+	}
+	b2 := newStub(t, "b2")
+	b2.ready.Store(false) // held out of the fleet until b1 has answered
+	b2.submitFn = func(n int32, w http.ResponseWriter, r *http.Request) {
+		// A corrupted twin: completes "the same" job with a different hash.
+		w.WriteHeader(http.StatusOK)
+		_ = json.NewEncoder(w).Encode(serve.RunStatus{ID: "run-b2", Status: serve.StateDone, ResultHash: "2222", Backend: "b2"})
+	}
+	b2.getFn = func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(serve.RunStatus{ID: "run-b2", Status: serve.StateDone, ResultHash: "2222", Backend: "b2"})
+	}
+
+	before := fleetHashMismatches.Value()
+	c, ts := newTestCoord(t, fastCfg(b1.srv.URL, b2.srv.URL))
+	st, resp := proxyPost(t, ts, `{"app":"pr","design":"O"}`)
+	if resp.StatusCode != http.StatusAccepted || st.Backend != "b1" {
+		t.Fatalf("submit: status %d backend %q, want 202 on b1 (%s)", resp.StatusCode, st.Backend, st.Error)
+	}
+	first, _ := proxyGet(t, ts, st.ID, "?wait=5s")
+	if first.Status != serve.StateDone || first.ResultHash != "1111" {
+		t.Fatalf("first completion %+v, want done/1111", first)
+	}
+
+	// Kill b1, admit b2, and poll again: the proxy fails over, b2 reports a
+	// conflicting hash, and the integrity check fires.
+	b1.srv.Close()
+	b2.ready.Store(true)
+	waitFor(t, "b2 to be admitted", func() bool {
+		for _, b := range c.Backends() {
+			if b.URL == b2.srv.URL && b.Admitted(time.Now()) {
+				return true
+			}
+		}
+		return false
+	})
+	bad, resp2 := proxyGet(t, ts, st.ID, "")
+	if resp2.StatusCode != http.StatusBadGateway {
+		t.Fatalf("mismatched re-completion: status %d (%+v), want 502", resp2.StatusCode, bad)
+	}
+	if !strings.Contains(bad.Error, "integrity") {
+		t.Fatalf("502 body %q does not name the integrity violation", bad.Error)
+	}
+	if got := fleetHashMismatches.Value() - before; got < 1 {
+		t.Fatalf("fleet_hash_mismatches_total delta = %d, want >= 1", got)
+	}
+}
+
+// TestHedgedRead races a hung owner against a second backend that holds
+// the completed result: the hedge must win well before the owner's stall
+// ends, and the hedge counters must move.
+func TestHedgedRead(t *testing.T) {
+	stall := make(chan struct{})
+	defer close(stall)
+	owner := newStub(t, "slow")
+	owner.getFn = func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-stall:
+		case <-r.Context().Done():
+		}
+		_ = json.NewEncoder(w).Encode(serve.RunStatus{ID: "run-1", Status: serve.StateRunning})
+	}
+	alt := newStub(t, "holder")
+	alt.getFn = func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(serve.RunStatus{ID: "run-2", Status: serve.StateDone, ResultHash: "feed", Backend: "holder"})
+	}
+
+	cfg := fastCfg(owner.srv.URL, alt.srv.URL)
+	cfg.HedgeDelay = 30 * time.Millisecond
+	c, _ := newTestCoord(t, cfg)
+	var ob, ab *Backend
+	for _, b := range c.Backends() {
+		switch b.URL {
+		case owner.srv.URL:
+			ob = b
+		case alt.srv.URL:
+			ab = b
+		}
+	}
+	j := newPJob("job-000001", "k", nil)
+	j.setOwner(ob, "run-1")
+	c.recordHolder("k", ab, "run-2", true, "feed")
+
+	wins := fleetHedgeWins.Value()
+	start := time.Now()
+	st, err := c.pollOwner(context.Background(), j, ob, "run-1", 5*time.Second)
+	if err != nil {
+		t.Fatalf("pollOwner: %v", err)
+	}
+	if st.Status != serve.StateDone || st.ResultHash != "feed" {
+		t.Fatalf("hedged poll returned %+v, want the holder's done result", st)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hedge took %v; it should beat the hung owner by seconds", elapsed)
+	}
+	if got := fleetHedgeWins.Value() - wins; got < 1 {
+		t.Fatalf("fleet_hedge_wins_total delta = %d, want >= 1", got)
+	}
+}
+
+// TestFleetHealthz checks the proxy's own health surface: per-backend
+// rows, ok/unavailable status, and 503 once every backend is gone.
+func TestFleetHealthz(t *testing.T) {
+	stub := newStub(t, "only")
+	stub.submitFn = func(n int32, w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(serve.RunStatus{ID: "run-1", Status: serve.StateQueued})
+	}
+	_, ts := newTestCoord(t, fastCfg(stub.srv.URL))
+
+	var h FleetHealth
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" || len(h.Backends) != 1 || h.Backends[0].ID != "only" {
+		t.Fatalf("healthz = %d %+v, want ok with the probed backend row", resp.StatusCode, h)
+	}
+
+	stub.ready.Store(false)
+	waitFor(t, "fleet to report unavailable", func() bool {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode == http.StatusServiceUnavailable
+	})
+}
+
+// TestRouteKeyAffinity checks fleet-wide dedup end to end: two identical
+// submissions through the proxy produce one backend job; the second
+// answers from the first's result with dedup set.
+func TestRouteKeyAffinity(t *testing.T) {
+	var made atomic.Int32
+	stub := newStub(t, "s1")
+	stub.submitFn = func(n int32, w http.ResponseWriter, r *http.Request) {
+		made.Add(1)
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(serve.RunStatus{ID: fmt.Sprintf("run-%06d", n), Status: serve.StateQueued})
+	}
+	stub.getFn = func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(serve.RunStatus{ID: r.PathValue("id"), Status: serve.StateDone, ResultHash: "00cc"})
+	}
+	_, ts := newTestCoord(t, fastCfg(stub.srv.URL))
+
+	first, _ := proxyPost(t, ts, `{"app":"pr","design":"O","params":{"seed":42}}`)
+	if st, _ := proxyGet(t, ts, first.ID, "?wait=5s"); st.Status != serve.StateDone {
+		t.Fatalf("first job did not finish: %+v", st)
+	}
+	// Same spec spelled differently (an empty params block defaults to
+	// seed 42): joins, no new backend submit.
+	second, resp := proxyPost(t, ts, `{"app":"pr","design":"O","params":{}}`)
+	if resp.StatusCode != http.StatusOK || !second.Dedup || second.ID != first.ID {
+		t.Fatalf("resubmit not deduped onto %s: %d %+v", first.ID, resp.StatusCode, second)
+	}
+	if got := made.Load(); got != 1 {
+		t.Fatalf("backend saw %d distinct submissions, want 1", got)
+	}
+}

@@ -1,0 +1,607 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"abndp/internal/serve"
+)
+
+// pjob is one fleet-tracked job: the canonical submission body (kept for
+// re-dispatch), the current owning backend, and the integrity record.
+type pjob struct {
+	id   string // fleet job ID ("job-000001")
+	key  string // serve.RouteKey — fleet dedup identity
+	body []byte // canonical re-marshalled RunRequest, replayed on failover
+
+	muJ          chan struct{} // 1-buffered mutex token (select-able; see lock/unlock)
+	owner        *Backend
+	ownerRunID   string
+	failovers    int
+	lastHash     string // first result_hash seen; later completions must match
+	hashMismatch bool
+	submitted    time.Time
+}
+
+func newPJob(id, key string, body []byte) *pjob {
+	j := &pjob{id: id, key: key, body: body, muJ: make(chan struct{}, 1), submitted: time.Now()}
+	return j
+}
+
+func (j *pjob) lock()   { j.muJ <- struct{}{} }
+func (j *pjob) unlock() { <-j.muJ }
+
+func (j *pjob) ownerInfo() (*Backend, string) {
+	j.lock()
+	defer j.unlock()
+	return j.owner, j.ownerRunID
+}
+
+func (j *pjob) setOwner(b *Backend, runID string) {
+	j.lock()
+	defer j.unlock()
+	j.owner, j.ownerRunID = b, runID
+}
+
+// dropOwner clears the owner if it is still dead — a concurrent poll may
+// already have re-dispatched. Reports whether this call did the clearing
+// (and so owns the failover accounting).
+func (j *pjob) dropOwner(dead *Backend) bool {
+	j.lock()
+	defer j.unlock()
+	if j.owner != dead {
+		return false
+	}
+	j.owner, j.ownerRunID = nil, ""
+	j.failovers++
+	return true
+}
+
+func (j *pjob) snapshotFailovers() int {
+	j.lock()
+	defer j.unlock()
+	return j.failovers
+}
+
+// errLostRun marks a live backend that no longer knows the run (it
+// restarted and lost its in-memory jobs): failover without feeding the
+// circuit breaker.
+var errLostRun = errors.New("backend lost the run")
+
+// proxyError is a terminal proxy-level failure surfaced to the client.
+type proxyError struct {
+	code       int
+	msg        string
+	rawBody    []byte // backend body passed through verbatim (client errors)
+	retryAfter time.Duration
+}
+
+func (e *proxyError) Error() string { return fmt.Sprintf("fleet: %s (HTTP %d)", e.msg, e.code) }
+
+// rejection is a live backend's explicit 429/503 — not a health failure.
+type rejection struct {
+	code       int
+	retryAfter time.Duration
+}
+
+// ---------------------------------------------------------------------------
+// Forwarding primitives.
+
+// forwardSubmit POSTs the job to one backend, bounded by AttemptTimeout.
+func (c *Coordinator) forwardSubmit(ctx context.Context, b *Backend, j *pjob) (*serve.RunStatus, *rejection, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.URL+"/v1/runs", bytes.NewReader(j.body))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	b.hist().ObserveSince(t0)
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusAccepted:
+		var st serve.RunStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return nil, nil, fmt.Errorf("decode submit response: %w", err)
+		}
+		return &st, nil, nil
+	case http.StatusBadRequest:
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		return nil, nil, &proxyError{code: http.StatusBadRequest, msg: "backend rejected request", rawBody: raw}
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return nil, &rejection{code: resp.StatusCode, retryAfter: retryAfterOf(resp)}, nil
+	default:
+		return nil, nil, fmt.Errorf("submit: HTTP %d from %s", resp.StatusCode, b.ID())
+	}
+}
+
+// forwardGet polls one backend for a run, long-polling up to wait.
+func (c *Coordinator) forwardGet(ctx context.Context, b *Backend, runID string, wait time.Duration) (*serve.RunStatus, error) {
+	path := b.URL + "/v1/runs/" + runID
+	grace := c.cfg.AttemptTimeout
+	if wait > 0 {
+		path += "?wait=" + wait.String()
+		grace += wait
+	}
+	ctx, cancel := context.WithTimeout(ctx, grace)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b.hist().ObserveSince(t0)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var st serve.RunStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return nil, fmt.Errorf("decode run status: %w", err)
+		}
+		return &st, nil
+	case http.StatusNotFound:
+		return nil, fmt.Errorf("%w: %s has no run %s", errLostRun, b.ID(), runID)
+	default:
+		return nil, fmt.Errorf("poll: HTTP %d from %s", resp.StatusCode, b.ID())
+	}
+}
+
+func retryAfterOf(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch: route a submission to a healthy backend, retrying around
+// failures and explicit rejections.
+
+// dispatch places j on a backend: ring-order candidates per round,
+// failures feed the breaker, explicit 429/503 rejections set the backoff
+// floor between rounds. exclude removes a just-died owner from the first
+// re-dispatch so failover cannot bounce straight back.
+func (c *Coordinator) dispatch(ctx context.Context, j *pjob, exclude *Backend) (*Backend, *serve.RunStatus, error) {
+	var hint time.Duration
+	for round := 0; round < c.cfg.MaxAttempts; round++ {
+		if round > 0 {
+			fleetRetryRounds.Add(1)
+			if err := c.cfg.Retry.Sleep(ctx, round-1, hint); err != nil {
+				return nil, nil, &proxyError{code: http.StatusServiceUnavailable, msg: err.Error()}
+			}
+			hint = 0
+		}
+		tried := map[*Backend]bool{}
+		for {
+			b := c.pick(j.key, func(b *Backend) bool { return tried[b] || b == exclude })
+			if b == nil {
+				break
+			}
+			tried[b] = true
+			st, rej, err := c.forwardSubmit(ctx, b, j)
+			if err != nil {
+				var pe *proxyError
+				if errors.As(err, &pe) {
+					return nil, nil, err // client error: pass through, don't retry
+				}
+				b.Fail(err.Error())
+				c.log.Warn("submit attempt failed", "job", j.id, "backend", b.ID(), "err", err.Error())
+				continue
+			}
+			if rej != nil {
+				if rej.retryAfter > hint {
+					hint = rej.retryAfter
+				}
+				c.log.Info("backend rejected submission", "job", j.id, "backend", b.ID(),
+					"code", rej.code, "retry_after", rej.retryAfter)
+				continue
+			}
+			b.OK()
+			fleetDispatches.Add(1)
+			j.setOwner(b, st.ID)
+			c.recordHolder(j.key, b, st.ID, st.Status == serve.StateDone, st.ResultHash)
+			c.log.Info("dispatched", "job", j.id, "key", j.key, "backend", b.ID(),
+				"backend_run", st.ID, "dedup", st.Dedup)
+			return b, st, nil
+		}
+		// After the final round there is no one left to wait for.
+		if round == c.cfg.MaxAttempts-1 {
+			break
+		}
+	}
+	fleetRejected.Add(1)
+	if hint <= 0 {
+		hint = time.Second
+	}
+	return nil, nil, &proxyError{
+		code:       http.StatusServiceUnavailable,
+		msg:        fmt.Sprintf("no backend admitted job %s after %d rounds", j.id, c.cfg.MaxAttempts),
+		retryAfter: hint,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Await: poll the owner to (or past) a wait budget, failing over when the
+// owner dies and hedging long tails against a second result holder.
+
+func isTerminal(status string) bool {
+	return status == serve.StateDone || status == serve.StateFailed
+}
+
+// await returns j's status, long-polling up to wait. The loop re-dispatches
+// around dead owners; every terminal "done" passes the hash cross-check.
+func (c *Coordinator) await(ctx context.Context, j *pjob, wait time.Duration) (*serve.RunStatus, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		owner, runID := j.ownerInfo()
+		if owner == nil {
+			b, st, err := c.dispatch(ctx, j, nil)
+			if err != nil {
+				return nil, err
+			}
+			if isTerminal(st.Status) {
+				return c.finish(j, b, st)
+			}
+			continue
+		}
+		remaining := time.Until(deadline)
+		if remaining < 0 {
+			remaining = 0
+		}
+		st, err := c.pollOwner(ctx, j, owner, runID, remaining)
+		if err != nil {
+			if ferr := c.failover(ctx, j, owner, err); ferr != nil {
+				return nil, ferr
+			}
+			continue
+		}
+		if isTerminal(st.Status) {
+			return c.finish(j, owner, st)
+		}
+		if time.Until(deadline) <= 10*time.Millisecond {
+			return st, nil // wait budget spent; report the live state
+		}
+	}
+}
+
+// pollOwner forwards one poll to the owner, racing a hedged read against
+// an alternate completed-result holder when the owner is slow.
+func (c *Coordinator) pollOwner(ctx context.Context, j *pjob, owner *Backend, runID string, wait time.Duration) (*serve.RunStatus, error) {
+	alt, altRunID := c.altHolder(j.key, owner)
+	if c.cfg.HedgeDelay <= 0 || alt == nil || wait <= c.cfg.HedgeDelay {
+		return c.forwardGet(ctx, owner, runID, wait)
+	}
+
+	type res struct {
+		st  *serve.RunStatus
+		err error
+	}
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	primary := make(chan res, 1)
+	go func() {
+		st, err := c.forwardGet(pctx, owner, runID, wait)
+		primary <- res{st, err}
+	}()
+	hedge := time.NewTimer(c.cfg.HedgeDelay)
+	defer hedge.Stop()
+	select {
+	case r := <-primary:
+		return r.st, r.err
+	case <-hedge.C:
+		fleetHedgedReads.Add(1)
+		c.hedged.Add(1)
+		if st, err := c.forwardGet(ctx, alt, altRunID, 0); err == nil && isTerminal(st.Status) {
+			fleetHedgeWins.Add(1)
+			c.log.Info("hedged read won", "job", j.id, "owner", owner.ID(), "alt", alt.ID())
+			cancel() // release the primary poll
+			<-primary
+			return st, nil
+		}
+		r := <-primary
+		return r.st, r.err
+	}
+}
+
+// failover handles a dead or amnesiac owner: feed the breaker (unless the
+// backend merely lost the run), clear ownership, re-dispatch elsewhere.
+func (c *Coordinator) failover(ctx context.Context, j *pjob, owner *Backend, cause error) error {
+	if !errors.Is(cause, errLostRun) {
+		owner.Fail(cause.Error())
+	}
+	if !j.dropOwner(owner) {
+		return nil // a concurrent poll already failed over; reuse its work
+	}
+	fleetFailovers.Add(1)
+	c.failoversN.Add(1)
+	c.log.Warn("failover", "job", j.id, "key", j.key, "dead", owner.ID(), "cause", cause.Error())
+	_, st, err := c.dispatch(ctx, j, owner)
+	if err != nil {
+		return err
+	}
+	_ = st
+	return nil
+}
+
+// finish applies the fleet integrity check to a terminal status: once any
+// backend has reported a result_hash for this job, every later completion
+// — a re-dispatch after a backend death, a hedged read, a dedup join —
+// must report the byte-identical hash. The engine's deterministic FNV-1a
+// result hash makes equality the correct invariant: same spec, same
+// hash, on any healthy backend.
+func (c *Coordinator) finish(j *pjob, b *Backend, st *serve.RunStatus) (*serve.RunStatus, error) {
+	if st.Status != serve.StateDone {
+		return st, nil
+	}
+	j.lock()
+	prev := j.lastHash
+	if prev != "" && st.ResultHash != prev {
+		j.hashMismatch = true
+		j.unlock()
+		fleetHashMismatches.Add(1)
+		c.mismatchN.Add(1)
+		c.log.Error("fleet integrity violation", "job", j.id, "key", j.key,
+			"backend", b.ID(), "hash", st.ResultHash, "recorded", prev)
+		return nil, &proxyError{
+			code: http.StatusBadGateway,
+			msg: fmt.Sprintf("integrity violation: backend %s reports result_hash %s for job %s, but %s was recorded earlier",
+				b.ID(), st.ResultHash, j.id, prev),
+		}
+	}
+	j.lastHash = st.ResultHash
+	j.unlock()
+	c.recordHolder(j.key, b, st.ID, true, st.ResultHash)
+	return st, nil
+}
+
+// ---------------------------------------------------------------------------
+// Holder bookkeeping (who has which key, for failover and hedging).
+
+func (c *Coordinator) recordHolder(key string, b *Backend, runID string, done bool, hash string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.holders[key]
+	if m == nil {
+		m = make(map[*Backend]holder)
+		c.holders[key] = m
+	}
+	m[b] = holder{runID: runID, done: done, hash: hash}
+}
+
+// altHolder returns a backend other than owner known to hold key's
+// completed result, if any.
+func (c *Coordinator) altHolder(key string, owner *Backend) (*Backend, string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for b, h := range c.holders[key] {
+		if b != owner && h.done {
+			return b, h.runID
+		}
+	}
+	return nil, ""
+}
+
+// ---------------------------------------------------------------------------
+// HTTP handlers.
+
+// rewrite maps a backend status into the fleet namespace.
+func (c *Coordinator) rewrite(j *pjob, b *Backend, st *serve.RunStatus) *serve.RunStatus {
+	st.ID = j.id
+	st.Failovers = j.snapshotFailovers()
+	if st.Backend == "" && b != nil {
+		st.Backend = b.ID()
+	}
+	return st
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req serve.RunRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("invalid request body: %v", err)})
+		return
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	key := serve.RouteKey(&req)
+	fleetSubmitted.Add(1)
+	c.submittedN.Add(1)
+
+	c.mu.Lock()
+	if j := c.byKey[key]; j != nil {
+		c.mu.Unlock()
+		fleetDeduped.Add(1)
+		c.dedupedN.Add(1)
+		st, err := c.await(r.Context(), j, 0)
+		if err != nil {
+			c.writeError(w, err)
+			return
+		}
+		owner, _ := j.ownerInfo()
+		st = c.rewrite(j, owner, st)
+		st.Dedup = true
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	c.nextID++
+	j := newPJob(fmt.Sprintf("job-%06d", c.nextID), key, body)
+	c.jobs[j.id] = j
+	c.byKey[key] = j
+	c.mu.Unlock()
+
+	b, st, err := c.dispatch(r.Context(), j, nil)
+	if err != nil {
+		// Unplaced jobs must not poison the key: the next submission
+		// starts fresh.
+		c.mu.Lock()
+		delete(c.jobs, j.id)
+		delete(c.byKey, key)
+		c.mu.Unlock()
+		c.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, c.rewrite(j, b, st))
+}
+
+func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	j := c.jobs[r.PathValue("id")]
+	c.mu.Unlock()
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("no such run %q", r.PathValue("id"))})
+		return
+	}
+	var wait time.Duration
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("invalid wait duration %q: %v", waitStr, err)})
+			return
+		}
+		wait = d
+	}
+	st, err := c.await(r.Context(), j, wait)
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
+	owner, _ := j.ownerInfo()
+	writeJSON(w, http.StatusOK, c.rewrite(j, owner, st))
+}
+
+// handleExperiment forwards a render to a healthy backend, with cache
+// affinity per experiment name and failover across the rest of the ring.
+func (c *Coordinator) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	tried := map[*Backend]bool{}
+	for {
+		b := c.pick("exp|"+name, func(b *Backend) bool { return tried[b] })
+		if b == nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "no backend available for render"})
+			return
+		}
+		tried[b] = true
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.URL+"/v1/experiments/"+name, nil)
+		if err != nil {
+			c.writeError(w, err)
+			return
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			b.Fail(err.Error())
+			c.log.Warn("render attempt failed", "experiment", name, "backend", b.ID(), "err", err.Error())
+			continue
+		}
+		func() {
+			defer resp.Body.Close()
+			for k, vs := range resp.Header {
+				for _, v := range vs {
+					w.Header().Add(k, v)
+				}
+			}
+			w.WriteHeader(resp.StatusCode)
+			_, _ = io.Copy(w, resp.Body)
+		}()
+		return
+	}
+}
+
+// FleetHealth is the proxy's GET /healthz body.
+type FleetHealth struct {
+	Status   string          `json:"status"` // "ok" with >=1 routable backend, else "unavailable"
+	Backends []BackendHealth `json:"backends"`
+	Jobs     int             `json:"jobs"`
+
+	Submitted      int64 `json:"jobs_submitted"`
+	Deduped        int64 `json:"jobs_deduped"`
+	Failovers      int64 `json:"failovers"`
+	HashMismatches int64 `json:"hash_mismatches"`
+	HedgedReads    int64 `json:"hedged_reads"`
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	h := FleetHealth{
+		Status:         "unavailable",
+		Submitted:      c.submittedN.Load(),
+		Deduped:        c.dedupedN.Load(),
+		Failovers:      c.failoversN.Load(),
+		HashMismatches: c.mismatchN.Load(),
+		HedgedReads:    c.hedged.Load(),
+	}
+	for _, b := range c.backends {
+		if b.Admitted(now) {
+			h.Status = "ok"
+		}
+		h.Backends = append(h.Backends, b.Health())
+	}
+	c.mu.Lock()
+	h.Jobs = len(c.jobs)
+	c.mu.Unlock()
+	code := http.StatusOK
+	if h.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// writeError renders a proxy-level failure, preserving backend bodies and
+// Retry-After hints.
+func (c *Coordinator) writeError(w http.ResponseWriter, err error) {
+	var pe *proxyError
+	if !errors.As(err, &pe) {
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
+		return
+	}
+	if pe.retryAfter > 0 {
+		secs := int(pe.retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	if pe.rawBody != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(pe.code)
+		_, _ = w.Write(pe.rawBody)
+		return
+	}
+	writeJSON(w, pe.code, map[string]string{"error": pe.msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Per-coordinator counters for /healthz (the fleet_* expvars are
+// process-global and shared across Coordinators in tests).
+type coordCounters struct {
+	submittedN, dedupedN, failoversN, mismatchN, hedged atomic.Int64
+}

@@ -1,0 +1,76 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingOrder pins the ring-walk contract: every backend appears exactly
+// once, the walk is deterministic for a key, and different keys spread
+// across different primaries.
+func TestRingOrder(t *testing.T) {
+	ids := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := newRing(ids, 64)
+
+	primaries := map[int]int{}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		order := r.order(key)
+		if len(order) != len(ids) {
+			t.Fatalf("order(%q) = %v, want all %d backends", key, order, len(ids))
+		}
+		seen := map[int]bool{}
+		for _, idx := range order {
+			if idx < 0 || idx >= len(ids) || seen[idx] {
+				t.Fatalf("order(%q) = %v has duplicate or out-of-range index", key, order)
+			}
+			seen[idx] = true
+		}
+		again := r.order(key)
+		for j := range order {
+			if order[j] != again[j] {
+				t.Fatalf("order(%q) not deterministic: %v vs %v", key, order, again)
+			}
+		}
+		primaries[order[0]]++
+	}
+	// With 64 virtual points per backend no backend should own everything
+	// or nothing.
+	for idx := range ids {
+		if primaries[idx] == 0 || primaries[idx] == 200 {
+			t.Fatalf("primary distribution degenerate: %v", primaries)
+		}
+	}
+}
+
+// TestRingStability checks the consistent-hash property the fleet relies
+// on for warm caches: removing one backend only remaps the keys it owned —
+// every other key keeps its primary.
+func TestRingStability(t *testing.T) {
+	all := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	full := newRing(all, 64)
+	sans := newRing(all[:3], 64) // drop d
+
+	moved := 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := full.order(key)[0]
+		after := sans.order(key)[0]
+		if before == 3 {
+			continue // d's keys must move somewhere, anywhere
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed backend changed primary", moved)
+	}
+}
+
+// TestRingEmpty guards the degenerate fleet.
+func TestRingEmpty(t *testing.T) {
+	if got := newRing(nil, 64).order("k"); len(got) != 0 {
+		t.Fatalf("empty ring order = %v, want empty", got)
+	}
+}

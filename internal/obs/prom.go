@@ -27,9 +27,10 @@ import (
 // to the exposed unit at render time (1e-6 exposes seconds), keeping the
 // hot Observe path integer-only.
 type SyncHist struct {
-	name  string
-	help  string
-	scale float64
+	name   string
+	help   string
+	scale  float64
+	labels string // pre-rendered label pairs, e.g. `backend="b1"` (may be empty)
 
 	mu sync.Mutex
 	h  Hist
@@ -88,6 +89,35 @@ func PublishedHist(name, help string, scale float64) *SyncHist {
 	return h
 }
 
+// PublishedHistLabel is PublishedHist for one labeled series of a metric
+// family: every (name, label=value) pair gets its own histogram, and the
+// exposition renders them as one family — one HELP/TYPE block, with the
+// label merged into each _bucket/_sum/_count line alongside le. The
+// serving fleet uses it for per-backend request latency
+// (fleet_backend_request_seconds{backend="b1"}). Registration is permanent
+// and idempotent per (name, label, value), like PublishedHist.
+func PublishedHistLabel(name, help string, scale float64, label, value string) *SyncHist {
+	labels := label + `="` + escapeLabel(value) + `"`
+	key := name + "{" + labels + "}"
+	histMu.Lock()
+	defer histMu.Unlock()
+	if h, ok := histRegistry[key]; ok {
+		return h
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	h := &SyncHist{name: name, help: help, scale: scale, labels: labels}
+	histRegistry[key] = h
+	return h
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
 // promName sanitizes an expvar name into the Prometheus metric-name
 // alphabet [a-zA-Z0-9_:], mapping every other byte to '_'.
 func promName(s string) string {
@@ -125,6 +155,7 @@ func fmtFloat(v float64) string {
 func WritePrometheus(w io.Writer) {
 	type metric struct {
 		name, typ, help string
+		sort            string // sort key; empty means name (labeled series append their labels)
 		render          func(io.Writer, string)
 	}
 	var ms []metric
@@ -193,16 +224,31 @@ func WritePrometheus(w io.Writer) {
 	histMu.Unlock()
 	for _, h := range hists {
 		h := h
-		ms = append(ms, metric{name: promName(h.name), typ: "histogram", help: h.help,
+		ms = append(ms, metric{name: promName(h.name), sort: promName(h.name) + "{" + h.labels, typ: "histogram", help: h.help,
 			render: func(w io.Writer, n string) { writeHist(w, n, h) }})
 	}
 
-	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
-	for _, m := range ms {
-		if m.help != "" {
-			fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+	sort.Slice(ms, func(i, j int) bool {
+		si, sj := ms[i].sort, ms[j].sort
+		if si == "" {
+			si = ms[i].name
 		}
-		fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ)
+		if sj == "" {
+			sj = ms[j].name
+		}
+		return si < sj
+	})
+	// Labeled series of one family sort adjacent; emit the HELP/TYPE block
+	// once per family (duplicate TYPE lines are invalid exposition).
+	prev := ""
+	for _, m := range ms {
+		if m.name != prev {
+			if m.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ)
+			prev = m.name
+		}
 		m.render(w, m.name)
 	}
 }
@@ -212,6 +258,13 @@ func WritePrometheus(w io.Writer) {
 // (2^i - 1 samples, times Scale), so p50/p95/p99 recovered from the
 // buckets — by Hist.Quantile here or histogram_quantile server-side — agree.
 func writeHist(w io.Writer, name string, s *SyncHist) {
+	// A labeled series merges its label pairs into every line: the fixed
+	// labels alone on _sum/_count, and joined with le on _bucket.
+	labels, le := "", ""
+	if s.labels != "" {
+		labels = "{" + s.labels + "}"
+		le = s.labels + ","
+	}
 	h := s.Snapshot()
 	var cum int64
 	for i, c := range h.Buckets {
@@ -220,11 +273,11 @@ func writeHist(w io.Writer, name string, s *SyncHist) {
 		if i == len(h.Buckets)-1 {
 			break // the open-ended bucket is the +Inf line below
 		}
-		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, fmtFloat(float64(hi)*s.scale), cum)
+		fmt.Fprintf(w, "%s_bucket{%sle=\"%s\"} %d\n", name, le, fmtFloat(float64(hi)*s.scale), cum)
 	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
-	fmt.Fprintf(w, "%s_sum %s\n", name, fmtFloat(float64(h.Sum)*s.scale))
-	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, le, h.Count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, fmtFloat(float64(h.Sum)*s.scale))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count)
 }
 
 // PromHandler returns the /metrics HTTP handler.

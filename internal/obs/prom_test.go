@@ -137,6 +137,52 @@ func TestWritePrometheusExposition(t *testing.T) {
 	}
 }
 
+// TestPublishedHistLabel checks the labeled-family exposition the fleet
+// uses for per-backend latency: two backends' series render under one
+// HELP/TYPE block, each line carrying its backend label, and both parse
+// as valid exposition.
+func TestPublishedHistLabel(t *testing.T) {
+	b1 := PublishedHistLabel("prom_test_labeled_seconds", "Per-backend test latency.", 1e-6, "backend", "b1")
+	b2 := PublishedHistLabel("prom_test_labeled_seconds", "Per-backend test latency.", 1e-6, "backend", "b2")
+	if b1 == b2 {
+		t.Fatal("distinct label values share one histogram")
+	}
+	if again := PublishedHistLabel("prom_test_labeled_seconds", "", 1, "backend", "b1"); again != b1 {
+		t.Fatal("re-registration of one labeled series returned a new histogram")
+	}
+	b1.Observe(1000)
+	b1.Observe(2000)
+	b2.Observe(500)
+
+	var buf bytes.Buffer
+	WritePrometheus(&buf)
+	series := parseExposition(t, buf.String())
+
+	if got := series[`prom_test_labeled_seconds_count{backend="b1"}`]; got != 2 {
+		t.Errorf(`b1 count = %v, want 2`, got)
+	}
+	if got := series[`prom_test_labeled_seconds_count{backend="b2"}`]; got != 1 {
+		t.Errorf(`b2 count = %v, want 1`, got)
+	}
+	if got := series[`prom_test_labeled_seconds_bucket{backend="b1",le="+Inf"}`]; got != 2 {
+		t.Errorf(`b1 +Inf bucket = %v, want 2`, got)
+	}
+	if got := series[`prom_test_labeled_seconds_sum{backend="b2"}`]; got != 500e-6 {
+		t.Errorf(`b2 sum = %v, want 0.0005`, got)
+	}
+	// One TYPE block for the whole family (parseExposition fails on
+	// duplicates); both labeled series present.
+	if n := strings.Count(buf.String(), "# TYPE prom_test_labeled_seconds histogram"); n != 1 {
+		t.Errorf("family TYPE emitted %d times, want 1", n)
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	if got := escapeLabel(`a"b\c` + "\n"); got != `a\"b\\c\n` {
+		t.Errorf("escapeLabel = %q", got)
+	}
+}
+
 func TestSyncHistQuantileScale(t *testing.T) {
 	h := PublishedHist("prom_test_scale_seconds", "", 1e-6)
 	for i := 0; i < 1000; i++ {

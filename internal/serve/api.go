@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
+	"hash/fnv"
 
 	"abndp/internal/apps"
 	"abndp/internal/bench"
@@ -71,6 +73,16 @@ type RunStatus struct {
 	App       string `json:"app"`
 	Design    string `json:"design"`
 
+	// Backend names the serve process that owns the job (abndpserve -id),
+	// echoed so fleet clients can attribute work to a process. The fleet
+	// proxy preserves it when rewriting IDs into the fleet namespace.
+	Backend string `json:"backend,omitempty"`
+
+	// Failovers counts the times the fleet proxy re-dispatched this job to
+	// another backend after its owner died mid-flight. Set only by
+	// abndpproxy; a direct backend response always reports zero.
+	Failovers int `json:"failovers,omitempty"`
+
 	// TraceFile is the job's Perfetto trace path (server -trace-dir only),
 	// populated once the job finishes: serve-tier request spans plus the
 	// engine's task spans and counter tracks on one timeline.
@@ -111,9 +123,30 @@ type RunSummary struct {
 	Unrecoverable string  `json:"unrecoverable,omitempty"`
 }
 
+// Ready is the GET /readyz body: the readiness half of the health split.
+// /healthz is liveness (the process answers and reports its counters,
+// even while draining); /readyz is willingness to accept new work — 503
+// while the worker pool is starting or the server is draining. The body
+// doubles as the fleet proxy's routing-factor probe: queue pressure and
+// the observed mean service time feed the multi-factor balance decision.
+type Ready struct {
+	Status     string `json:"status"` // "ready", "starting", or "draining"
+	BackendID  string `json:"backend_id,omitempty"`
+	Workers    int    `json:"workers"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+
+	// MeanRunSeconds is the observed mean job execution time (zero until
+	// the first run completes) — the service-rate factor in fleet routing
+	// and in the server's own Retry-After estimates.
+	MeanRunSeconds float64 `json:"mean_run_seconds,omitempty"`
+	Completed      int64   `json:"jobs_completed"`
+}
+
 // Health is the GET /healthz body.
 type Health struct {
 	Status     string `json:"status"` // "ok" or "draining"
+	BackendID  string `json:"backend_id,omitempty"`
 	Workers    int    `json:"workers"`
 	QueueDepth int    `json:"queue_depth"`
 	QueueCap   int    `json:"queue_cap"`
@@ -143,6 +176,33 @@ type LatencySummary struct {
 	P50   float64 `json:"p50_seconds"`
 	P95   float64 `json:"p95_seconds"`
 	P99   float64 `json:"p99_seconds"`
+}
+
+// RouteKey is the fleet-routing identity of a request: a deterministic
+// normalization of the submission that maps identical jobs to identical
+// keys without needing a warm Runner (the proxy has none). It fills the
+// same defaults buildSpec would (input seed 42) and excludes Check —
+// auditing changes the job's cost, not its result — then fingerprints the
+// canonical JSON. Two requests with equal RouteKeys always have equal
+// server-side cache keys; the converse can miss only when a client spells
+// the same spec through different explicit-default fields, which merely
+// costs a second backend one cached simulation, never correctness.
+func RouteKey(req *RunRequest) string {
+	shadow := struct {
+		App    string      `json:"app"`
+		Design string      `json:"design"`
+		Params *ParamsSpec `json:"params,omitempty"`
+		Config *ConfigSpec `json:"config,omitempty"`
+	}{req.App, req.Design, req.Params, req.Config}
+	if req.Params != nil && req.Params.Seed == 0 {
+		p := *req.Params
+		p.Seed = 42
+		shadow.Params = &p
+	}
+	raw, _ := json.Marshal(shadow) // struct of plain fields; cannot fail
+	h := fnv.New64a()
+	_, _ = h.Write(raw)
+	return fmt.Sprintf("%s|%s|%016x", req.App, req.Design, h.Sum64())
 }
 
 // knownApp reports whether name is a built-in workload.

@@ -34,9 +34,11 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -59,6 +61,12 @@ const (
 
 // Config parameterizes a Server.
 type Config struct {
+	// ID names this backend within a serving fleet (abndpserve -id). It is
+	// echoed on every response as the X-ABNDP-Backend header, in job
+	// statuses, and on /healthz and /readyz, so the fleet proxy
+	// (internal/fleet) and clients can attribute work to a process. Empty
+	// means unnamed (a standalone server).
+	ID string
 	// Workers is the simulation worker-pool size; 0 means GOMAXPROCS.
 	Workers int
 	// QueueSize bounds the pending-job queue; 0 means 64. Submissions
@@ -110,6 +118,12 @@ type Server struct {
 	nextID   int64
 	draining bool
 	queue    chan *job
+
+	// ready gates /readyz: false until the worker pool is up, false again
+	// once draining. Liveness (/healthz answering at all) and readiness
+	// (willing to accept work) are distinct — the fleet proxy routes on
+	// readiness.
+	ready atomic.Bool
 
 	nextReq atomic.Int64 // request-ID sequence (every submission, dedup included)
 
@@ -207,6 +221,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleRun)
 	s.mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	s.mux.Handle("GET /metrics", obs.PromHandler())
 	obs.PublishedFunc("serve_queue_depth", func() any { return len(s.queue) })
@@ -235,11 +250,22 @@ func New(cfg Config) *Server {
 	for i := 0; i < workers; i++ {
 		go s.worker()
 	}
+	s.ready.Store(true)
 	return s
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler. A named backend (Config.ID)
+// stamps every response with X-ABNDP-Backend so proxies and clients can
+// attribute responses to a process.
+func (s *Server) Handler() http.Handler {
+	if s.cfg.ID == "" {
+		return s.mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-ABNDP-Backend", s.cfg.ID)
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // Runner exposes the warm harness runner (shutdown metrics, tests).
 func (s *Server) Runner() *bench.Runner { return s.runner }
@@ -374,6 +400,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		// The hint tells fleet-aware clients when the in-flight backlog
+		// should be gone — i.e. when a replacement backend on this address
+		// (or the rest of the fleet) is worth another try.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
 		s.log.Info("submit rejected", "request_id", rid, "reason", "draining", "app", spec.App)
 		return
@@ -409,7 +439,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		s.rejected.Add(1)
 		expRejected.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
 		httpError(w, http.StatusTooManyRequests, "job queue full (%d pending); retry later", cap(s.queue))
 		s.log.Warn("submit rejected", "request_id", rid, "reason", "queue full",
 			"app", spec.App, "queue_cap", cap(s.queue))
@@ -481,6 +511,67 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(buf.Bytes())
 }
 
+// retryAfterSecs computes the Retry-After hint for a rejected submission
+// from the queued backlog and the pool's observed service rate: the time
+// for the current backlog to clear through the workers, using the mean
+// run time from the serve_run_seconds histogram. Before the first run
+// completes (no rate observation yet) it falls back to 1s; the result is
+// clamped to [1, 60] so a pathological backlog never tells clients to go
+// away for hours.
+// meanRunSeconds is the observed mean job execution time in seconds
+// (zero until a run completes) — the fleet's service-rate routing factor.
+func meanRunSeconds() float64 {
+	h := histRun.Snapshot()
+	return h.Mean() * 1e-6 // samples are microseconds
+}
+
+func (s *Server) retryAfterSecs() int {
+	meanRunSecs := meanRunSeconds()
+	if meanRunSecs <= 0 {
+		return 1
+	}
+	backlog := float64(len(s.queue) + 1)
+	workers := float64(s.runner.Workers())
+	secs := int(math.Ceil(meanRunSecs * backlog / workers))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// handleReadyz is the readiness half of the health split: 200 only when
+// the worker pool is up and the server is accepting work, 503 while
+// starting or draining. /healthz stays the liveness-plus-counters
+// surface; fleet proxies probe /readyz and route on the load factors in
+// its body (queue depth, observed service time).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	rd := Ready{
+		Status:         "ready",
+		BackendID:      s.cfg.ID,
+		Workers:        s.runner.Workers(),
+		QueueDepth:     len(s.queue),
+		QueueCap:       cap(s.queue),
+		MeanRunSeconds: meanRunSeconds(),
+		Completed:      s.completed.Load(),
+	}
+	code := http.StatusOK
+	switch {
+	case draining:
+		rd.Status = "draining"
+		code = http.StatusServiceUnavailable
+	case !s.ready.Load():
+		rd.Status = "starting"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, rd)
+}
+
 // handleHealthz reports liveness plus the service counters. A draining
 // server answers 503 so load balancers stop routing to it.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -489,6 +580,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	h := Health{
 		Status:     "ok",
+		BackendID:  s.cfg.ID,
 		Workers:    s.runner.Workers(),
 		QueueDepth: len(s.queue),
 		QueueCap:   cap(s.queue),
@@ -521,6 +613,7 @@ func (s *Server) statusLocked(j *job) *RunStatus {
 		ID:              j.id,
 		RequestID:       j.reqID,
 		Key:             j.key,
+		Backend:         s.cfg.ID,
 		Status:          j.state,
 		TraceFile:       j.traceFile,
 		App:             j.spec.App,
@@ -555,6 +648,7 @@ func (s *Server) statusLocked(j *job) *RunStatus {
 // calls all wait. On ctx expiry the pool keeps its in-flight work (the
 // crash guard bounds every run) but Drain returns ctx.Err().
 func (s *Server) Drain(ctx context.Context) error {
+	s.ready.Store(false)
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true

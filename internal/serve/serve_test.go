@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -307,6 +308,145 @@ func TestGracefulDrain(t *testing.T) {
 	st := await(t, ts, first.ID)
 	if st.Status != StateDone {
 		t.Fatalf("in-flight job finished %q after drain, want done", st.Status)
+	}
+}
+
+// TestReadyzSplit checks the liveness/readiness split: a fresh named
+// backend is ready (200, with its ID on the body and the response
+// header), and a draining one answers 503 "draining" on /readyz while
+// /healthz keeps answering with counters.
+func TestReadyzSplit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, ID: "b7"})
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rd Ready
+	if err := json.NewDecoder(resp.Body).Decode(&rd); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rd.Status != "ready" {
+		t.Fatalf("fresh readyz: %d %+v, want 200 ready", resp.StatusCode, rd)
+	}
+	if rd.BackendID != "b7" || resp.Header.Get("X-ABNDP-Backend") != "b7" {
+		t.Fatalf("backend ID missing: body %q header %q", rd.BackendID, resp.Header.Get("X-ABNDP-Backend"))
+	}
+	if rd.Workers != 1 || rd.QueueCap == 0 {
+		t.Fatalf("readyz load factors wrong: %+v", rd)
+	}
+}
+
+func TestReadyzDraining(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rd Ready
+	if err := json.NewDecoder(resp.Body).Decode(&rd); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || rd.Status != "draining" {
+		t.Fatalf("draining readyz: %d %+v, want 503 draining", resp.StatusCode, rd)
+	}
+	// Liveness stays up: /healthz still answers (503 body with counters).
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz while draining: %v", err)
+	}
+	var h Health
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if h.Status != "draining" {
+		t.Fatalf("healthz while draining: %+v", h)
+	}
+}
+
+// TestRetryAfterComputed checks the backpressure hints are derived from
+// load, not hard-coded: both the 429 queue-full and the 503 draining
+// rejection carry a positive integer Retry-After.
+func TestRetryAfterComputed(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueSize: 1})
+	// One completed run seeds the service-rate observation.
+	st, _ := post(t, ts, `{"app":"pr","design":"O","params":{"seed":90001}}`)
+	if st = await(t, ts, st.ID); st.Status != StateDone {
+		t.Fatalf("seed run finished %q", st.Status)
+	}
+
+	gate := make(chan struct{})
+	var release sync.Once
+	t.Cleanup(func() { release.Do(func() { close(gate) }) })
+	s.Runner().SetSimHook(func(app, design string) { <-gate })
+	first, _ := post(t, ts, `{"app":"pr","design":"O","params":{"seed":90002}}`)
+	for {
+		st, _ := get(t, ts, first.ID, "")
+		if st.Status == StateRunning {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, resp := post(t, ts, `{"app":"pr","design":"O","params":{"seed":90003}}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queue fill: status %d", resp.StatusCode)
+	}
+	_, resp := post(t, ts, `{"app":"pr","design":"O","params":{"seed":90004}}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-full submit: status %d, want 429", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 || secs > 60 {
+		t.Fatalf("429 Retry-After %q, want integer in [1,60]", resp.Header.Get("Retry-After"))
+	}
+	release.Do(func() { close(gate) })
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	_, resp = post(t, ts, `{"app":"pr","design":"O","params":{"seed":90005}}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit: status %d, want 503", resp.StatusCode)
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || secs < 1 {
+		t.Fatalf("503 Retry-After %q, want positive integer", resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestRouteKey pins the fleet-routing identity: spelling differences that
+// cannot change the result (default seed made explicit, check on/off) map
+// to one key, while result-changing fields split it.
+func TestRouteKey(t *testing.T) {
+	base := RunRequest{App: "pr", Design: "O", Params: &ParamsSpec{Scale: 8}}
+	explicitSeed := RunRequest{App: "pr", Design: "O", Params: &ParamsSpec{Scale: 8, Seed: 42}}
+	checked := base
+	checked.Check = true
+	if RouteKey(&base) != RouteKey(&explicitSeed) {
+		t.Error("default seed vs explicit 42 split the route key")
+	}
+	if RouteKey(&base) != RouteKey(&checked) {
+		t.Error("check flag split the route key")
+	}
+	otherSeed := RunRequest{App: "pr", Design: "O", Params: &ParamsSpec{Scale: 8, Seed: 7}}
+	if RouteKey(&base) == RouteKey(&otherSeed) {
+		t.Error("distinct seeds share a route key")
+	}
+	otherApp := RunRequest{App: "bfs", Design: "O", Params: &ParamsSpec{Scale: 8}}
+	if RouteKey(&base) == RouteKey(&otherApp) {
+		t.Error("distinct apps share a route key")
+	}
+	alpha := 0.5
+	cfgd := RunRequest{App: "pr", Design: "O", Config: &ConfigSpec{Alpha: &alpha}}
+	if RouteKey(&base) == RouteKey(&cfgd) {
+		t.Error("config override shares the bare route key")
 	}
 }
 
