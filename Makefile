@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet audit bench perf experiments figures serve proxy serve-test clean
+.PHONY: all build test vet audit bench perf experiments figures hypo serve proxy serve-test clean
 
 all: vet test build
 
@@ -64,6 +64,14 @@ experiments:
 # Same, plus SVG figure files.
 figures:
 	$(GO) run ./cmd/abndpbench -svg docs/figures | tee docs/abndpbench_output.txt
+
+# Run the committed example hypothesis campaign (docs/HYPOTHESES.md):
+# expands the spec into a config grid x seeds x load levels, aggregates
+# mean +/- 95% CI per cell, and writes a FINDINGS report with a
+# confirmed/refuted/inconclusive verdict into findings/.
+HYPO_SPEC ?= examples/hypotheses/h1_hybrid_alpha.json
+hypo:
+	$(GO) run ./cmd/abndphypo -spec $(HYPO_SPEC) -quick
 
 clean:
 	rm -f test_output.txt bench_output.txt

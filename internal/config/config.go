@@ -127,6 +127,17 @@ type Config struct {
 	// scheduler. Ablation `ablwindow`.
 	SchedulingWindow int
 	SchedulingPeriod int64
+	// SchedPolicy selects the placement policy by registry name ("home",
+	// "lowestdist", "hybrid", "loadonly", or any future registrant — see
+	// internal/sched and RegisterPolicy). Empty (the default) derives the
+	// policy from the design, reproducing Table 2 exactly; setting it
+	// overrides the design's placement policy while leaving the design's
+	// cache and camp-awareness choices untouched.
+	SchedPolicy string
+	// PolicyParams holds named parameters of the selected SchedPolicy
+	// (registry-declared; Validate rejects unknown names and out-of-range
+	// values). Parameters not present take their registered defaults.
+	PolicyParams map[string]float64
 
 	// --- Core / SRAM power ("163 uW idle, 371 pJ per instruction") ---
 	CoreIdleWatt    float64
@@ -299,6 +310,9 @@ func (c *Config) Validate() error {
 	// HybridAlpha may be negative (sentinel for the default), but not NaN/Inf.
 	if math.IsNaN(c.HybridAlpha) || math.IsInf(c.HybridAlpha, 0) {
 		return fmt.Errorf("config: HybridAlpha = %v must be finite", c.HybridAlpha)
+	}
+	if err := c.validatePolicy(); err != nil {
+		return err
 	}
 	return c.Faults.Validate(c.Units(), c.MeshX*c.MeshY)
 }

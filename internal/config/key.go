@@ -75,6 +75,7 @@ func (c *Config) CanonicalKey() string {
 	kb(c.InformedStealing)
 	ki(c.SchedulingWindow)
 	ki64(c.SchedulingPeriod)
+	c.writePolicyKey(&b)
 	kf(c.CoreIdleWatt)
 	kf(c.CorePJPerInstr)
 	kf(c.SRAMPJPerAccess)

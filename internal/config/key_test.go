@@ -21,6 +21,16 @@ func perturb(t *testing.T, c *Config, i int) string {
 		v.SetFloat(v.Float() + 0.125)
 	case reflect.Bool:
 		v.SetBool(!v.Bool())
+	case reflect.String:
+		v.SetString(v.String() + "x")
+	case reflect.Map:
+		if v.Type() == reflect.TypeOf(map[string]float64(nil)) {
+			// An unregistered param: both keys serialize it generically
+			// (the prefix key treats unknown params as prefix-stable).
+			v.Set(reflect.ValueOf(map[string]float64{"coverageprobe": 0.125}))
+			break
+		}
+		t.Fatalf("field %s has map type %s; teach perturb (and CanonicalKey) about it", f.Name, v.Type())
 	case reflect.Struct:
 		if v.Type() == reflect.TypeOf(fault.Plan{}) {
 			// Field-level coverage of the plan lives in the fault package

@@ -86,6 +86,7 @@ func (c *Config) PrefixKey() string {
 	kf(c.SRAMPJPerAccess)
 	ki64(c.SRAMHitCycles)
 	ki64(c.Seed)
+	c.writePolicyPrefixKey(&b)
 	return b.String()
 }
 
@@ -100,5 +101,12 @@ var prefixExemptFields = map[string]bool{
 	"InformedStealing": true,
 	"SchedulingWindow": true,
 	"SchedulingPeriod": true,
-	"Faults":           true,
+	// The placement policy only changes scheduling decisions, never the
+	// machine. Its *parameters* are classified per-param by the registry
+	// (ParamBinding): writePolicyPrefixKey includes the prefix-stable ones,
+	// so PolicyParams is deliberately absent from this exemption list — the
+	// coverage test perturbs it with an unregistered (conservatively
+	// prefix-stable) param and expects the key to change.
+	"SchedPolicy": true,
+	"Faults":      true,
 }

@@ -1,0 +1,51 @@
+package hypo
+
+import (
+	"sort"
+
+	"abndp/internal/ndp"
+)
+
+// metricExtractors maps each declarable metric name to its extraction
+// from a finished run. All metrics are "lower is better by convention"
+// except where a verdict says direction "higher". Host-performance
+// numbers (events/sec, wall time) are deliberately absent: campaigns
+// compare simulated outcomes, which are deterministic per (spec, seed).
+var metricExtractors = map[string]func(r *ndp.Result) float64{
+	"seconds":    func(r *ndp.Result) float64 { return r.Seconds },
+	"makespan":   func(r *ndp.Result) float64 { return float64(r.Makespan) },
+	"tasks":      func(r *ndp.Result) float64 { return float64(r.Tasks) },
+	"steps":      func(r *ndp.Result) float64 { return float64(r.Steps) },
+	"inter_hops": func(r *ndp.Result) float64 { return float64(r.InterHops) },
+	"energy_uj":  func(r *ndp.Result) float64 { return r.Energy.Total() / 1e6 },
+	"imbalance": func(r *ndp.Result) float64 {
+		if r.Stats == nil {
+			return 0
+		}
+		return r.Stats.ImbalanceRatio()
+	},
+}
+
+// MetricNames returns the declarable metric names, sorted.
+func MetricNames() []string {
+	out := make([]string, 0, len(metricExtractors))
+	for n := range metricExtractors {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func validMetric(name string) bool {
+	_, ok := metricExtractors[name]
+	return ok
+}
+
+// extractMetrics pulls every declarable metric out of one run.
+func extractMetrics(r *ndp.Result) map[string]float64 {
+	out := make(map[string]float64, len(metricExtractors))
+	for n, f := range metricExtractors {
+		out[n] = f(r)
+	}
+	return out
+}

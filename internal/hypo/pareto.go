@@ -1,0 +1,32 @@
+package hypo
+
+// ParetoPoint is one cell's position in the declared trade-off plane.
+type ParetoPoint struct {
+	Cell     int // index into the campaign's cell list
+	X, Y     float64
+	Frontier bool // on the non-dominated frontier (both metrics minimized)
+}
+
+// ParetoFront marks the non-dominated subset of points: a point is
+// dominated when another point is no worse on both axes and strictly
+// better on at least one. Ties (exactly equal points) are all kept on the
+// frontier. O(n²), fine for campaign-sized point sets.
+func ParetoFront(points []ParetoPoint) []ParetoPoint {
+	out := make([]ParetoPoint, len(points))
+	copy(out, points)
+	for i := range out {
+		dominated := false
+		for j := range out {
+			if i == j {
+				continue
+			}
+			if out[j].X <= out[i].X && out[j].Y <= out[i].Y &&
+				(out[j].X < out[i].X || out[j].Y < out[i].Y) {
+				dominated = true
+				break
+			}
+		}
+		out[i].Frontier = !dominated
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package hypo
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// formatFloat renders a float the same way everywhere in a report: shortest
+// round-trip representation, so reruns of identical campaigns are
+// byte-identical and close-but-different values never collide.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// fmtMeasure renders "mean ± ci" with a fixed precision for tables.
+func fmtMeasure(s Summary) string {
+	if s.N == 0 {
+		return "failed"
+	}
+	if s.N == 1 {
+		return fmt.Sprintf("%.6g", s.Mean)
+	}
+	return fmt.Sprintf("%.6g ± %.3g", s.Mean, s.CI)
+}
+
+// RenderFindings renders the campaign outcome as a FINDINGS markdown
+// report. The output is a pure function of the outcome — no timestamps,
+// no host data, sorted iteration everywhere — so rerunning an identical
+// spec produces a byte-identical report (the determinism tests enforce
+// this).
+func RenderFindings(o *Outcome) []byte {
+	var b strings.Builder
+	s := o.Spec
+	fmt.Fprintf(&b, "# %s: %s\n\n", s.Name, orElse(s.Title, "untitled campaign"))
+	status := "NO VERDICT DECLARED"
+	if o.Verdict != nil {
+		status = strings.ToUpper(o.Verdict.Status)
+	}
+	fmt.Fprintf(&b, "**Status**: %s\n\n", status)
+	if o.Verdict != nil {
+		fmt.Fprintf(&b, "**Resolution**: %s\n\n", o.Verdict.Reason)
+	}
+
+	fmt.Fprintf(&b, "## Hypothesis\n\n%s\n\n", orElse(s.Hypothesis, "(none stated)"))
+
+	fmt.Fprintf(&b, "## Experiment design\n\n")
+	fmt.Fprintf(&b, "- Workload: `%s`", s.Workload.App)
+	if s.Workload.Scale != 0 {
+		fmt.Fprintf(&b, " scale=%d", s.Workload.Scale)
+	}
+	if s.Workload.Degree != 0 {
+		fmt.Fprintf(&b, " degree=%d", s.Workload.Degree)
+	}
+	if s.Workload.Iters != 0 {
+		fmt.Fprintf(&b, " iters=%d", s.Workload.Iters)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "- Seeds: %s (every cell runs once per seed; statistics are mean ± 95%% CI, Student-t)\n", fmtSeeds(o))
+	if len(s.LoadLevels) > 0 {
+		names := make([]string, len(s.LoadLevels))
+		for i, l := range s.LoadLevels {
+			names[i] = l.Name
+		}
+		fmt.Fprintf(&b, "- Load levels: %s\n", strings.Join(names, ", "))
+	}
+	fmt.Fprintf(&b, "- Arms: %d, expanded to %d cells, %d simulation runs\n\n", len(s.Arms), len(o.Cells), o.Runs)
+
+	fmt.Fprintf(&b, "## Results\n\n")
+	cols := reportMetrics(s)
+	fmt.Fprintf(&b, "| cell | design | %s |\n", strings.Join(cols, " | "))
+	fmt.Fprintf(&b, "|---|---|%s\n", strings.Repeat("---|", len(cols)))
+	for _, cr := range o.Cells {
+		row := make([]string, 0, len(cols))
+		for _, m := range cols {
+			row = append(row, fmtMeasure(cr.Summaries[m]))
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s |\n", cr.Cell.Label(), cr.Cell.Arm.Design, strings.Join(row, " | "))
+	}
+	b.WriteString("\n")
+	for _, cr := range o.Cells {
+		for _, f := range cr.Failures {
+			fmt.Fprintf(&b, "- **failed**: %s — %s\n", cr.Cell.Label(), f)
+		}
+	}
+
+	if s.Pareto != nil {
+		fmt.Fprintf(&b, "## Pareto frontier: %s vs %s\n\n", s.Pareto.X, s.Pareto.Y)
+		fmt.Fprintf(&b, "Both axes minimized; `*` marks non-dominated cells.\n\n")
+		fmt.Fprintf(&b, "| cell | %s | %s | frontier |\n|---|---|---|---|\n", s.Pareto.X, s.Pareto.Y)
+		for _, p := range o.Points {
+			mark := ""
+			if p.Frontier {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, "| %s | %.6g | %.6g | %s |\n", o.Cells[p.Cell].Cell.Label(), p.X, p.Y, mark)
+		}
+		b.WriteString("\n")
+	}
+
+	if v := o.Verdict; v != nil {
+		fmt.Fprintf(&b, "## Verdict\n\n")
+		fmt.Fprintf(&b, "- Metric: `%s` (%s is better), minimum effect %.4g\n", v.Metric, v.Direction, v.MinEffect)
+		if v.Level != "" {
+			fmt.Fprintf(&b, "- Compared at load level: %s\n", v.Level)
+		}
+		if v.BaselineCell >= 0 {
+			fmt.Fprintf(&b, "- Baseline best cell: %s = %s\n", o.Cells[v.BaselineCell].Cell.Label(), fmtMeasure(v.Baseline))
+		}
+		if v.CandidateCell >= 0 {
+			fmt.Fprintf(&b, "- Candidate best cell: %s = %s\n", o.Cells[v.CandidateCell].Cell.Label(), fmtMeasure(v.Candidate))
+		}
+		if v.Pairs > 0 {
+			fmt.Fprintf(&b, "- Paired per-seed relative improvement: %s over %d common seeds\n", fmtMeasure(v.Diff), v.Pairs)
+		}
+		fmt.Fprintf(&b, "- Relative effect: %.4g\n", v.Effect)
+		fmt.Fprintf(&b, "- **%s** — %s\n", strings.ToUpper(v.Status), v.Reason)
+	}
+	return []byte(b.String())
+}
+
+// reportMetrics picks the table columns: the verdict and pareto metrics
+// first (deduplicated), then seconds/inter_hops/imbalance as the standing
+// paper trio, preserving that order.
+func reportMetrics(s *Spec) []string {
+	var cols []string
+	seen := map[string]bool{}
+	add := func(m string) {
+		if m != "" && !seen[m] {
+			seen[m] = true
+			cols = append(cols, m)
+		}
+	}
+	if s.Verdict != nil {
+		add(s.Verdict.Metric)
+	}
+	if s.Pareto != nil {
+		add(s.Pareto.X)
+		add(s.Pareto.Y)
+	}
+	add("seconds")
+	add("inter_hops")
+	add("imbalance")
+	return cols
+}
+
+func fmtSeeds(o *Outcome) string {
+	if len(o.Cells) == 0 {
+		return "(none)"
+	}
+	seeds := o.Cells[0].Seeds
+	parts := make([]string, len(seeds))
+	for i, s := range seeds {
+		parts[i] = strconv.FormatInt(s, 10)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func orElse(s, alt string) string {
+	if s == "" {
+		return alt
+	}
+	return s
+}
+
+// jsonFindings is the machine-readable mirror of the report, for CI
+// assertions (jq) and downstream tooling.
+type jsonFindings struct {
+	Name    string          `json:"name"`
+	Title   string          `json:"title,omitempty"`
+	Status  string          `json:"status"`
+	Reason  string          `json:"reason,omitempty"`
+	Effect  *float64        `json:"effect,omitempty"`
+	Runs    int             `json:"runs"`
+	Cells   []jsonCell      `json:"cells"`
+	Pareto  []jsonParetoRow `json:"pareto,omitempty"`
+	Verdict *VerdictResult  `json:"verdict,omitempty"`
+}
+
+type jsonCell struct {
+	Label    string             `json:"label"`
+	Arm      string             `json:"arm"`
+	Design   string             `json:"design"`
+	Level    string             `json:"level,omitempty"`
+	Metrics  map[string]Summary `json:"metrics"`
+	Failures []string           `json:"failures,omitempty"`
+}
+
+type jsonParetoRow struct {
+	Label    string  `json:"label"`
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Frontier bool    `json:"frontier"`
+}
+
+// RenderJSON renders the outcome as deterministic, indented JSON
+// (encoding/json sorts map keys, so reruns are byte-identical here too).
+func RenderJSON(o *Outcome) ([]byte, error) {
+	jf := jsonFindings{
+		Name:   o.Spec.Name,
+		Title:  o.Spec.Title,
+		Status: "no verdict declared",
+		Runs:   o.Runs,
+	}
+	if v := o.Verdict; v != nil {
+		jf.Status = v.Status
+		jf.Reason = v.Reason
+		e := v.Effect
+		jf.Effect = &e
+		jf.Verdict = v
+	}
+	for _, cr := range o.Cells {
+		metrics := map[string]Summary{}
+		for _, m := range MetricNames() {
+			metrics[m] = cr.Summaries[m]
+		}
+		jf.Cells = append(jf.Cells, jsonCell{
+			Label:    cr.Cell.Label(),
+			Arm:      cr.Cell.Arm.Name,
+			Design:   cr.Cell.Arm.Design,
+			Level:    cr.Cell.Level.Name,
+			Metrics:  metrics,
+			Failures: append([]string(nil), cr.Failures...),
+		})
+	}
+	pts := append([]ParetoPoint(nil), o.Points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Cell < pts[j].Cell })
+	for _, p := range pts {
+		jf.Pareto = append(jf.Pareto, jsonParetoRow{
+			Label: o.Cells[p.Cell].Cell.Label(), X: p.X, Y: p.Y, Frontier: p.Frontier,
+		})
+	}
+	return json.MarshalIndent(jf, "", "  ")
+}

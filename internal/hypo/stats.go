@@ -1,0 +1,73 @@
+package hypo
+
+import "math"
+
+// Summary is the aggregate of one metric over a cell's per-seed samples:
+// mean ± half-width of the 95% confidence interval (Student-t for the
+// small seed counts campaigns actually run). With one sample the CI is
+// undefined and reported as 0 — the verdict logic treats single-seed
+// cells as CI-overlapping unless the means differ.
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64 // sample standard deviation (n-1)
+	CI   float64 // 95% CI half-width: t(n-1) * Std / sqrt(n)
+}
+
+// tTable95 holds two-sided 95% Student-t critical values by degrees of
+// freedom (index df, 1-based); beyond the table the normal 1.96 applies.
+var tTable95 = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+	2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+func tCrit95(df int) float64 {
+	if df <= 0 {
+		return 0
+	}
+	if df < len(tTable95) {
+		return tTable95[df]
+	}
+	return 1.96
+}
+
+// Summarize aggregates samples in the order given. Callers pass samples
+// in a canonical order (sorted by seed) so that summation order — and
+// with it the float result — is independent of execution interleaving.
+func Summarize(samples []float64) Summary {
+	n := len(samples)
+	if n == 0 {
+		return Summary{}
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return Summary{N: 1, Mean: mean}
+	}
+	var ss float64
+	for _, v := range samples {
+		d := v - mean
+		ss += d * d
+	}
+	std := math.Sqrt(ss / float64(n-1))
+	return Summary{
+		N:    n,
+		Mean: mean,
+		Std:  std,
+		CI:   tCrit95(n-1) * std / math.Sqrt(float64(n)),
+	}
+}
+
+// Separated reports whether the two 95% intervals do not overlap — the
+// campaign's statistical-resolution gate. Two single-sample summaries
+// (CI 0) are separated exactly when their means differ.
+func Separated(a, b Summary) bool {
+	if a.Mean <= b.Mean {
+		return a.Mean+a.CI < b.Mean-b.CI
+	}
+	return b.Mean+b.CI < a.Mean-a.CI
+}

@@ -122,6 +122,17 @@ func (s *System) auditResult(r *Result) {
 		}
 	}
 
+	// Degraded placement decisions: the scheduler clamps any non-finite
+	// load term to zero so one poisoned snapshot entry cannot break
+	// placement, but every clamp is a decision scored with the load half of
+	// its policy silently disabled. A healthy run has none; surfacing the
+	// count here means the degradation is visible even when the per-decision
+	// checker was not armed until end of run.
+	if n := s.Sched.DegradedLoads(); n > 0 {
+		c.Violationf("sched.degraded", now,
+			"%d placement decisions ran with a non-finite load term clamped to 0", n)
+	}
+
 	// Traveller occupancy is bounded by capacity.
 	for _, u := range s.units {
 		if u.cache != nil {

@@ -57,10 +57,12 @@ func (s *System) obsStart() {
 	s.scheduleObsSample()
 }
 
-// obsEnd closes the final phase at the makespan.
+// obsEnd closes the final phase at the makespan and copies the run-level
+// scheduler health counters out of the scheduler.
 func (s *System) obsEnd() {
 	if s.obsM != nil {
 		s.obsM.EndRun(s.Stats.Makespan)
+		s.obsM.SchedDegraded = s.Sched.DegradedLoads()
 	}
 }
 

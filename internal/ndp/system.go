@@ -180,7 +180,7 @@ func NewSystem(cfg config.Config, design config.Design) *System {
 		Noc:      n,
 		Camps:    camps,
 		Cost:     cost,
-		Sched:    sched.New(sched.KindFor(design), cost, camps, n, cfg.HybridAlpha),
+		Sched:    sched.New(sched.PolicyName(&cfg, design), cost, camps, n, &cfg),
 		Stats:    stats.NewSystem(topo.Units(), cfg.CoresPerUnit),
 		trueW:    make([]float64, topo.Units()),
 		stealRNG: rand.New(rand.NewSource(cfg.Seed + 0x5eed)),

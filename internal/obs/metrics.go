@@ -73,7 +73,11 @@ func (h *Hist) Quantile(q float64) float64 {
 	if h.Count == 0 {
 		return 0
 	}
-	if q < 0 {
+	// Out-of-range q clamps to the nearest defined quantile; a NaN q used
+	// to slip past both clamps (every comparison false) and fall off the
+	// bucket walk, returning Max — the garbage answer for the most
+	// undefined input. Define it as the minimum instead, same as q <= 0.
+	if math.IsNaN(q) || q < 0 {
 		q = 0
 	}
 	if q > 1 {
@@ -201,6 +205,13 @@ type Metrics struct {
 	// Engine-level counters, fed by the sim.Engine probe.
 	Events     int64 // events executed
 	MaxPending int   // high-water mark of the event queue
+
+	// SchedDegraded counts placement decisions whose load term went
+	// non-finite and was clamped to zero — each one a decision scored with
+	// the load half of its policy silently disabled. Copied from the
+	// scheduler at end of run; zero on every healthy run. The end-of-run
+	// audit (rule sched.degraded) flags any nonzero value.
+	SchedDegraded int64
 }
 
 // NewMetrics returns an empty Metrics; the runtime sizes it via Init.
@@ -214,6 +225,7 @@ func (m *Metrics) Init(units, ports int) {
 	m.Phases = m.Phases[:0]
 	m.Events = 0
 	m.MaxPending = 0
+	m.SchedDegraded = 0
 	m.openPhase(-1, 0)
 }
 

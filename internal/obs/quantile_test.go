@@ -163,6 +163,42 @@ func TestQuantileEdgeCases(t *testing.T) {
 	}
 }
 
+// Property: for every histogram — empty, degenerate, or random — and every
+// q, including the garbage values a metrics consumer can feed (NaN, ±Inf,
+// out of range), Quantile returns a finite value inside [0, Max]. A NaN q
+// used to slip past both range clamps and fall off the bucket walk,
+// returning Max; it is now defined as the minimum, like q <= 0.
+func TestQuantileDegenerateQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	hists := []*Hist{{}} // empty
+	single := &Hist{}
+	single.Observe(7)
+	hists = append(hists, single)
+	for trial := 0; trial < 20; trial++ {
+		h := &Hist{}
+		for i, n := 0, 1+rng.Intn(500); i < n; i++ {
+			h.Observe(rng.Int63n(1 << uint(1+rng.Intn(40))))
+		}
+		hists = append(hists, h)
+	}
+	qs := []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1e300, 1e300, -0.01, 1.01, 0, 1}
+	for hi, h := range hists {
+		for _, q := range qs {
+			got := h.Quantile(q)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("hist %d: Quantile(%v) = %v, want finite", hi, q, got)
+			}
+			if got < 0 || got > float64(h.Max) {
+				t.Fatalf("hist %d: Quantile(%v) = %v outside [0, %d]", hi, q, got, h.Max)
+			}
+		}
+		// NaN is defined as the minimum quantile, exactly like q = 0.
+		if got, want := h.Quantile(math.NaN()), h.Quantile(0); got != want {
+			t.Fatalf("hist %d: Quantile(NaN) = %v != Quantile(0) = %v", hi, got, want)
+		}
+	}
+}
+
 func TestBucketBounds(t *testing.T) {
 	cases := []struct {
 		i      int

@@ -22,13 +22,13 @@ func BenchmarkPlace(b *testing.B) {
 	}
 	cases := []struct {
 		name      string
-		kind      Kind
+		kind      string
 		campAware bool
 	}{
-		{"Home", KindHome, false},
-		{"LowestDistance", KindLowestDistance, false},
-		{"Hybrid", KindHybrid, false},
-		{"HybridCampAware", KindHybrid, true},
+		{"Home", "home", false},
+		{"LowestDistance", "lowestdist", false},
+		{"Hybrid", "hybrid", false},
+		{"HybridCampAware", "hybrid", true},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {

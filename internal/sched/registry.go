@@ -1,0 +1,161 @@
+// Placement-policy registry: policies are registered data — a name, a
+// declared parameter schema (internal/config validates and cache-keys it
+// generically), and a place function — instead of arms of a closed switch.
+// The paper's policies (home, lowestdist, hybrid) are the first
+// registrants; new policies plug in with a Register call and are then
+// selectable by any entry point via Config.SchedPolicy, sweepable by the
+// hypothesis campaigns (internal/hypo), and covered by the config
+// coverage tests, which force every new parameter to be classified
+// prefix-stable or late-binding before it compiles into a cache key.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"abndp/internal/config"
+	"abndp/internal/task"
+	"abndp/internal/topology"
+)
+
+// PlaceFunc chooses the execution unit for t, scheduled by origin's
+// scheduler. It returns the chosen unit (-1 when no live unit can accept
+// the task) plus the memory-cost and load score components of the chosen
+// unit for the observability hook and the audit layer (policies that do
+// not evaluate a component report 0 for it). A PlaceFunc must be
+// deterministic: ties break toward the main element's home, then strict
+// improvement in unit-ID order, exactly like the paper policies.
+type PlaceFunc func(s *Scheduler, t *task.Task, origin topology.UnitID) (target topology.UnitID, memCost, loadTerm float64)
+
+// Policy is one registered placement policy.
+type Policy struct {
+	Name   string
+	Doc    string
+	Params []config.PolicyParam
+	Place  PlaceFunc
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Policy{}
+)
+
+// Register adds a placement policy to the registry and declares its
+// parameter schema to internal/config (which panics on duplicate names or
+// unclassified parameters). Call from init functions.
+func Register(p Policy) {
+	if p.Place == nil {
+		panic(fmt.Sprintf("sched: policy %q registered without a place func", p.Name))
+	}
+	config.RegisterPolicy(p.Name, p.Params) // validates name and params, rejects dups
+	regMu.Lock()
+	registry[p.Name] = &p
+	regMu.Unlock()
+}
+
+// Lookup returns the registered policy of that name.
+func Lookup(name string) (*Policy, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	p, ok := registry[name]
+	return p, ok
+}
+
+// Policies returns the registered policy names, sorted.
+func Policies() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PolicyFor returns the registry name of the placement policy a Table 2
+// design uses. Design H has no NDP scheduler and is rejected by the
+// runtime before this point.
+func PolicyFor(d config.Design) string {
+	switch {
+	case d == config.DesignB:
+		return "home"
+	case d.UsesHybrid():
+		return "hybrid"
+	default:
+		return "lowestdist"
+	}
+}
+
+// PolicyName resolves the effective policy for a configuration: an
+// explicit Config.SchedPolicy wins, otherwise the design's Table 2 policy.
+func PolicyName(cfg *config.Config, d config.Design) string {
+	if cfg.SchedPolicy != "" {
+		return cfg.SchedPolicy
+	}
+	return PolicyFor(d)
+}
+
+func init() {
+	Register(Policy{
+		Name: "home",
+		Doc:  "co-locate with the main data element's home unit (design B)",
+		Place: func(s *Scheduler, t *task.Task, origin topology.UnitID) (topology.UnitID, float64, float64) {
+			target := s.camps.Home(t.Hint.Lines[0])
+			if s.dead != nil {
+				target = s.NearestLive(target)
+			}
+			return target, 0, 0
+		},
+	})
+	Register(Policy{
+		Name: "lowestdist",
+		Doc:  "minimize the mean data distance over all hint addresses (Sm, Sl, C)",
+		Place: func(s *Scheduler, t *task.Task, origin topology.UnitID) (topology.UnitID, float64, float64) {
+			target, memCost := s.placeLowestDistance(t)
+			return target, memCost, 0
+		},
+	})
+	Register(Policy{
+		Name: "hybrid",
+		Doc: "argmin of costmem + B*costload (Sh, O); B comes from the " +
+			"first-class HybridAlpha knob (B = alpha * Dinter)",
+		Place: (*Scheduler).placeHybrid,
+	})
+	Register(Policy{
+		Name: "loadonly",
+		Doc: "argmin of the load term alone, ignoring data distance — the " +
+			"missing corner of the paper's co-optimization claim (hybrid vs " +
+			"distance-only vs load-only)",
+		Params: []config.PolicyParam{{
+			Name: "floor", Default: 32, Min: 0, Max: 1e12,
+			Binding: config.BindingLate,
+			Doc:     "mean-load floor below which a one-task difference is quantization noise",
+		}},
+		Place: (*Scheduler).placeLoadOnly,
+	})
+}
+
+// paramDoc renders one policy's parameter list for CLI help output.
+func paramDoc(p *Policy) string {
+	if len(p.Params) == 0 {
+		return ""
+	}
+	parts := make([]string, len(p.Params))
+	for i, pp := range p.Params {
+		parts[i] = fmt.Sprintf("%s (default %g)", pp.Name, pp.Default)
+	}
+	return " [params: " + strings.Join(parts, ", ") + "]"
+}
+
+// Describe renders the registry as CLI help text, one line per policy.
+func Describe() string {
+	var b strings.Builder
+	for _, name := range Policies() {
+		p, _ := Lookup(name)
+		fmt.Fprintf(&b, "  %-12s %s%s\n", p.Name, p.Doc, paramDoc(p))
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

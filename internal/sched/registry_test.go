@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"abndp/internal/config"
+)
+
+// The paper's three policies plus loadonly are registered at init; the
+// registry is the single source of truth for what exists.
+func TestRegistryHasPaperPolicies(t *testing.T) {
+	for _, name := range []string{"home", "lowestdist", "hybrid", "loadonly"} {
+		p, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("policy %q not registered", name)
+		}
+		if p.Name != name || p.Place == nil || p.Doc == "" {
+			t.Fatalf("policy %q registered incompletely: %+v", name, p)
+		}
+	}
+	names := Policies()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Policies() not sorted: %v", names)
+		}
+	}
+}
+
+// Registering a policy without a place func, or re-registering an existing
+// name, must panic loudly at init time instead of shadowing silently.
+func TestRegisterRejectsBadPolicies(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: Register did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("nil place", func() {
+		Register(Policy{Name: "nilplace"})
+	})
+	mustPanic("duplicate name", func() {
+		Register(Policy{Name: "hybrid", Place: (*Scheduler).placeHybrid})
+	})
+	mustPanic("unclassified param binding", func() {
+		Register(Policy{
+			Name:   "unclassified-param",
+			Place:  (*Scheduler).placeHybrid,
+			Params: []config.PolicyParam{{Name: "x", Default: 1, Max: 2}},
+		})
+	})
+}
+
+// New must reject unknown policy names with a message listing what exists —
+// config.Validate screens user input, so reaching this panic is a bug, and
+// the bug report should name the registry contents.
+func TestNewPanicsOnUnknownPolicy(t *testing.T) {
+	e := newEnv()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("New with unknown policy did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "nosuchpolicy") {
+			t.Fatalf("panic message %v does not name the unknown policy", r)
+		}
+	}()
+	e.scheduler("nosuchpolicy", false)
+}
+
+// Every registered parameter must declare an explicit binding class — the
+// partition the config cache keys depend on — and a coherent range.
+func TestRegisteredParamsClassified(t *testing.T) {
+	for _, name := range Policies() {
+		p, _ := Lookup(name)
+		for _, pp := range p.Params {
+			if pp.Binding != config.BindingLate && pp.Binding != config.BindingPrefixStable {
+				t.Errorf("policy %q param %q has unclassified binding %v", name, pp.Name, pp.Binding)
+			}
+			if pp.Default < pp.Min || pp.Default > pp.Max {
+				t.Errorf("policy %q param %q default %v outside [%v, %v]", name, pp.Name, pp.Default, pp.Min, pp.Max)
+			}
+			if pp.Doc == "" {
+				t.Errorf("policy %q param %q has no doc string", name, pp.Name)
+			}
+		}
+	}
+}
+
+// Describe lists every policy (CLI help surface).
+func TestDescribeListsEveryPolicy(t *testing.T) {
+	help := Describe()
+	for _, name := range Policies() {
+		if !strings.Contains(help, name) {
+			t.Errorf("Describe() output missing policy %q:\n%s", name, help)
+		}
+	}
+	if !strings.Contains(help, "floor") {
+		t.Errorf("Describe() output missing loadonly's floor param:\n%s", help)
+	}
+}

@@ -15,6 +15,7 @@
 package sched
 
 import (
+	"fmt"
 	"math"
 
 	"abndp/internal/check"
@@ -25,39 +26,23 @@ import (
 	"abndp/internal/topology"
 )
 
-// Kind is the placement algorithm of a policy.
-type Kind int
-
-const (
-	// KindHome places a task at its main element's home (design B).
-	KindHome Kind = iota
-	// KindLowestDistance minimizes the mean data distance (Sm, Sl, C).
-	KindLowestDistance
-	// KindHybrid minimizes costmem + B*costload (Sh, O).
-	KindHybrid
-)
-
-// KindFor returns the placement kind used by a Table 2 design. Design H has
-// no NDP scheduler and is rejected by the runtime before this point.
-func KindFor(d config.Design) Kind {
-	switch {
-	case d == config.DesignB:
-		return KindHome
-	case d.UsesHybrid():
-		return KindHybrid
-	default:
-		return KindLowestDistance
-	}
-}
-
-// Scheduler scores candidate units for task placement.
+// Scheduler scores candidate units for task placement. Its placement
+// algorithm is a registered Policy (registry.go) resolved by name at
+// construction — policies are data, not switch arms.
 type Scheduler struct {
-	kind    Kind
+	policy  *Policy
+	params  map[string]float64 // resolved policy params (defaults + overrides)
 	cost    *core.CostModel
 	camps   *core.CampMap
 	noc     *noc.Model
 	units   int
 	hybridB float64
+
+	// degraded counts load terms clamped because the effective load view
+	// turned non-finite — each one a placement decision whose load half was
+	// silently disabled before the clamp existed. Surfaced through the
+	// observer (obs.Metrics.SchedDegraded) and the end-of-run audit.
+	degraded int64
 
 	// snapW is the last exchanged workload snapshot; delta[origin*units+u]
 	// is the load origin has forwarded to u since that exchange.
@@ -101,25 +86,51 @@ type Scheduler struct {
 	auditNow func() int64
 }
 
-// New builds a scheduler. campAware must match the cost model: design O
-// schedules against camp locations, every other design against homes.
-func New(kind Kind, cost *core.CostModel, camps *core.CampMap, n *noc.Model, hybridAlpha float64) *Scheduler {
+// New builds a scheduler running the named registered policy (panics on an
+// unknown name — config.Validate rejects it long before this point).
+// campAware must match the cost model: design O schedules against camp
+// locations, every other design against homes. Policy parameters resolve
+// from the registry defaults overridden by cfg.PolicyParams; the hybrid
+// weight B keeps coming from the first-class cfg.HybridAlpha knob.
+func New(policy string, cost *core.CostModel, camps *core.CampMap, n *noc.Model, cfg *config.Config) *Scheduler {
+	p, ok := Lookup(policy)
+	if !ok {
+		panic(fmt.Sprintf("sched: unknown policy %q (registered: %v)", policy, Policies()))
+	}
+	params := make(map[string]float64, len(p.Params))
+	for _, spec := range p.Params {
+		v := spec.Default
+		if ov, set := cfg.PolicyParams[spec.Name]; set && cfg.SchedPolicy == p.Name {
+			v = ov
+		}
+		params[spec.Name] = v
+	}
 	units := n.Topology().Units()
 	return &Scheduler{
-		kind:    kind,
+		policy:  p,
+		params:  params,
 		cost:    cost,
 		camps:   camps,
 		noc:     n,
 		units:   units,
-		hybridB: core.HybridWeight(n, hybridAlpha),
+		hybridB: core.HybridWeight(n, cfg.HybridAlpha),
 		snapW:   make([]float64, units),
 		delta:   make([]float64, units*units),
 		loadBuf: make([]float64, units),
 	}
 }
 
-// Kind returns the scheduler's placement kind.
-func (s *Scheduler) Kind() Kind { return s.kind }
+// PolicyName returns the name of the scheduler's placement policy.
+func (s *Scheduler) PolicyName() string { return s.policy.Name }
+
+// Param returns the resolved value of a declared policy parameter (the
+// registered default unless cfg.PolicyParams overrode it). Unknown names
+// return 0; policies only ask for parameters they declared.
+func (s *Scheduler) Param(name string) float64 { return s.params[name] }
+
+// DegradedLoads returns how many load terms were clamped because the
+// effective load view turned non-finite — zero on every healthy run.
+func (s *Scheduler) DegradedLoads() int64 { return s.degraded }
 
 // HybridB returns the hybrid weight B in cycles (for tests).
 func (s *Scheduler) HybridB() float64 { return s.hybridB }
@@ -231,21 +242,7 @@ func (s *Scheduler) auditCycle() int64 {
 // and records the forwarded load in origin's delta. Ties break toward the
 // lowest unit ID so results are deterministic.
 func (s *Scheduler) Place(t *task.Task, origin topology.UnitID) topology.UnitID {
-	var target topology.UnitID
-	var memCost, loadTerm float64
-	switch s.kind {
-	case KindHome:
-		target = s.camps.Home(t.Hint.Lines[0])
-		if s.dead != nil {
-			target = s.NearestLive(target)
-		}
-	case KindLowestDistance:
-		target, memCost = s.placeLowestDistance(t)
-	case KindHybrid:
-		target, memCost, loadTerm = s.placeHybrid(t, origin)
-	default:
-		panic("sched: unknown policy kind")
-	}
+	target, memCost, loadTerm := s.policy.Place(s, t, origin)
 	if target < 0 {
 		// No live unit can accept the task (every unit is dead). Return
 		// the verdict without touching the delta matrix — the old code
@@ -311,26 +308,22 @@ func (s *Scheduler) placeLowestDistance(t *task.Task) (topology.UnitID, float64)
 	return best, bestCost
 }
 
-func (s *Scheduler) placeHybrid(t *task.Task, origin topology.UnitID) (topology.UnitID, float64, float64) {
-	vec := s.memVecFor(t)
-	if vec == nil {
-		s.flatBuf, s.candBuf = s.cost.Candidates(t.Hint.Lines, s.flatBuf, s.candBuf)
-	}
-
-	// Effective load view of this origin: the snapshot plus what it has
-	// forwarded since, amplified by the unit count as a mean-field
-	// correction. Every scheduler sees the same stale snapshot, so
-	// without the correction all origins would pile onto whatever unit
-	// the snapshot shows as idle until the next exchange; amplifying the
-	// own delta makes each origin act as if its peers place symmetrically,
-	// which caps the collective overshoot at roughly one origin's worth.
-	// The mean is floored at roughly two queued tasks per unit: with
-	// near-empty queues a one-task difference is quantization noise, not
-	// imbalance, and must not dominate the distance term.
+// loadView fills s.loadBuf with origin's effective per-unit load — the
+// snapshot plus what origin has forwarded since, amplified by the unit
+// count as a mean-field correction — and returns the floored live-unit
+// mean (live == 0 when every unit is dead). Every scheduler sees the same
+// stale snapshot, so without the correction all origins would pile onto
+// whatever unit the snapshot shows as idle until the next exchange;
+// amplifying the own delta makes each origin act as if its peers place
+// symmetrically, which caps the collective overshoot at roughly one
+// origin's worth. The mean is floored (by default at roughly two queued
+// tasks per unit): with near-empty queues a one-task difference is
+// quantization noise, not imbalance, and must not dominate the other
+// score terms.
+func (s *Scheduler) loadView(origin topology.UnitID, meanFloor float64) (mean float64, live int) {
 	d := s.delta[int(origin)*s.units : (int(origin)+1)*s.units]
 	amp := float64(s.units)
 	var sum float64
-	live := 0
 	for u := 0; u < s.units; u++ {
 		w := s.snapW[u] + d[u]*amp
 		if s.rates != nil && s.rates[u] > 0 {
@@ -342,8 +335,11 @@ func (s *Scheduler) placeHybrid(t *task.Task, origin topology.UnitID) (topology.
 		if math.IsNaN(w) || math.IsInf(w, 0) {
 			// A non-finite load term would make every score comparison
 			// false and silently disable the load half of the policy.
-			// Clamp it so one poisoned unit cannot break placement, and
-			// leave an audit trail when the checker is armed.
+			// Clamp it so one poisoned unit cannot break placement, count
+			// the degradation so it is visible at end of run (the observer
+			// and the end-of-run audit both report it), and leave a
+			// per-decision audit trail when the checker is armed.
+			s.degraded++
 			if s.audit != nil {
 				s.audit.Violationf("sched.load", s.auditCycle(),
 					"unit %d load term %v is not finite", u, w)
@@ -358,16 +354,30 @@ func (s *Scheduler) placeHybrid(t *task.Task, origin topology.UnitID) (topology.
 		live++
 	}
 	if live == 0 {
+		return 0, 0
+	}
+	mean = sum / float64(live)
+	if mean < meanFloor {
+		mean = meanFloor
+	}
+	return mean, live
+}
+
+// hybridMeanFloor is about two tasks' default workload estimate.
+const hybridMeanFloor = 32
+
+func (s *Scheduler) placeHybrid(t *task.Task, origin topology.UnitID) (topology.UnitID, float64, float64) {
+	vec := s.memVecFor(t)
+	if vec == nil {
+		s.flatBuf, s.candBuf = s.cost.Candidates(t.Hint.Lines, s.flatBuf, s.candBuf)
+	}
+	mean, live := s.loadView(origin, hybridMeanFloor)
+	if live == 0 {
 		// Every unit is dead. The old code divided by zero here, poisoning
 		// mean to NaN so every score comparison was false and the stale
 		// `best` index went out of bounds. Return the explicit
 		// no-live-unit verdict (the same -1 NearestLive reports) instead.
 		return -1, 0, 0
-	}
-	const meanFloor = 32 // about two tasks' default workload estimate
-	mean := sum / float64(live)
-	if mean < meanFloor {
-		mean = meanFloor
 	}
 
 	// Ties break toward the main element's home, as in lowest-distance.
@@ -407,6 +417,36 @@ func (s *Scheduler) placeHybrid(t *task.Task, origin topology.UnitID) (topology.
 		}
 	}
 	return best, bestMem, bestLoad
+}
+
+// placeLoadOnly is the "loadonly" registered policy: argmin over live
+// units of the load term alone, ignoring data distance entirely. It is the
+// missing corner of the paper's co-optimization claim — campaigns compare
+// hybrid (both terms) against lowestdist (distance only) and loadonly
+// (balance only). The mean floor is a declared policy parameter ("floor")
+// instead of a compile-time constant, exercising the generic parameter
+// path end to end (config validation, cache keys, campaign sweeps).
+func (s *Scheduler) placeLoadOnly(t *task.Task, origin topology.UnitID) (topology.UnitID, float64, float64) {
+	mean, live := s.loadView(origin, s.Param("floor"))
+	if live == 0 {
+		return -1, 0, 0 // every unit is dead
+	}
+	// Ties break toward the main element's home, then strict improvement in
+	// unit-ID order — the same deterministic tie-break as the other policies.
+	best := s.camps.Home(t.Hint.Lines[0])
+	if s.dead != nil {
+		best = s.NearestLive(best)
+	}
+	bestLoad := s.hybridB * (s.loadBuf[best]/mean - 1)
+	for u := 0; u < s.units; u++ {
+		if s.dead != nil && s.dead[u] {
+			continue
+		}
+		if load := s.hybridB * (s.loadBuf[u]/mean - 1); load < bestLoad {
+			best, bestLoad = topology.UnitID(u), load
+		}
+	}
+	return best, 0, bestLoad
 }
 
 // PickVictim selects the work-stealing victim for an idle thief: the unit

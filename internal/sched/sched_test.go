@@ -36,9 +36,9 @@ func newEnv() *env {
 	}
 }
 
-func (e *env) scheduler(kind Kind, campAware bool) *Scheduler {
+func (e *env) scheduler(policy string, campAware bool) *Scheduler {
 	cost := core.NewCostModel(e.noc, e.camps, campAware)
-	return New(kind, cost, e.camps, e.noc, e.cfg.HybridAlpha)
+	return New(policy, cost, e.camps, e.noc, &e.cfg)
 }
 
 // lineOn returns a line homed on unit u.
@@ -46,25 +46,37 @@ func (e *env) lineOn(u topology.UnitID) mem.Line {
 	return mem.LineOf(mem.Addr(uint64(u)*e.cfg.UnitBytes + 4096))
 }
 
-func TestKindFor(t *testing.T) {
-	cases := map[config.Design]Kind{
-		config.DesignB:  KindHome,
-		config.DesignSm: KindLowestDistance,
-		config.DesignSl: KindLowestDistance,
-		config.DesignSh: KindHybrid,
-		config.DesignC:  KindLowestDistance,
-		config.DesignO:  KindHybrid,
+func TestPolicyFor(t *testing.T) {
+	cases := map[config.Design]string{
+		config.DesignB:  "home",
+		config.DesignSm: "lowestdist",
+		config.DesignSl: "lowestdist",
+		config.DesignSh: "hybrid",
+		config.DesignC:  "lowestdist",
+		config.DesignO:  "hybrid",
 	}
 	for d, want := range cases {
-		if got := KindFor(d); got != want {
-			t.Fatalf("KindFor(%v) = %v, want %v", d, got, want)
+		if got := PolicyFor(d); got != want {
+			t.Fatalf("PolicyFor(%v) = %q, want %q", d, got, want)
 		}
+	}
+}
+
+// An explicit Config.SchedPolicy overrides the design's Table 2 policy.
+func TestPolicyNameOverride(t *testing.T) {
+	cfg := config.Default()
+	if got := PolicyName(&cfg, config.DesignSm); got != "lowestdist" {
+		t.Fatalf("default PolicyName = %q, want lowestdist", got)
+	}
+	cfg.SchedPolicy = "loadonly"
+	if got := PolicyName(&cfg, config.DesignSm); got != "loadonly" {
+		t.Fatalf("override PolicyName = %q, want loadonly", got)
 	}
 }
 
 func TestHomePolicy(t *testing.T) {
 	e := newEnv()
-	s := e.scheduler(KindHome, false)
+	s := e.scheduler("home", false)
 	for _, u := range []topology.UnitID{0, 17, 127} {
 		tsk := &task.Task{Hint: task.Hint{Lines: []mem.Line{e.lineOn(u), e.lineOn(0)}}}
 		if got := s.Place(tsk, 5); got != u {
@@ -75,7 +87,7 @@ func TestHomePolicy(t *testing.T) {
 
 func TestLowestDistanceSingleLine(t *testing.T) {
 	e := newEnv()
-	s := e.scheduler(KindLowestDistance, false)
+	s := e.scheduler("lowestdist", false)
 	u := topology.UnitID(99)
 	tsk := &task.Task{Hint: task.Hint{Lines: []mem.Line{e.lineOn(u)}}}
 	if got := s.Place(tsk, 0); got != u {
@@ -85,7 +97,7 @@ func TestLowestDistanceSingleLine(t *testing.T) {
 
 func TestLowestDistanceIsArgmin(t *testing.T) {
 	e := newEnv()
-	s := e.scheduler(KindLowestDistance, false)
+	s := e.scheduler("lowestdist", false)
 	cost := core.NewCostModel(e.noc, e.camps, false)
 	lines := []mem.Line{e.lineOn(3), e.lineOn(77), e.lineOn(120)}
 	tsk := &task.Task{Hint: task.Hint{Lines: lines}}
@@ -100,8 +112,8 @@ func TestLowestDistanceIsArgmin(t *testing.T) {
 
 func TestHybridReducesToLowestDistanceWhenBalanced(t *testing.T) {
 	e := newEnv()
-	sh := e.scheduler(KindHybrid, false)
-	sm := e.scheduler(KindLowestDistance, false)
+	sh := e.scheduler("hybrid", false)
+	sm := e.scheduler("lowestdist", false)
 	// Uniform load: costload is 0 everywhere, so hybrid == lowest distance.
 	w := make([]float64, e.topo.Units())
 	for i := range w {
@@ -122,7 +134,7 @@ func TestHybridReducesToLowestDistanceWhenBalanced(t *testing.T) {
 
 func TestHybridAvoidsOverloadedUnit(t *testing.T) {
 	e := newEnv()
-	s := e.scheduler(KindHybrid, false)
+	s := e.scheduler("hybrid", false)
 	home := topology.UnitID(42)
 	// The data's home is massively overloaded; everyone else is idle.
 	w := make([]float64, e.topo.Units())
@@ -137,7 +149,9 @@ func TestHybridAvoidsOverloadedUnit(t *testing.T) {
 func TestHybridZeroWeightIgnoresLoad(t *testing.T) {
 	e := newEnv()
 	cost := core.NewCostModel(e.noc, e.camps, false)
-	s := New(KindHybrid, cost, e.camps, e.noc, 0) // alpha = 0 -> B = 0
+	cfg := e.cfg
+	cfg.HybridAlpha = 0 // B = alpha * Dinter = 0
+	s := New("hybrid", cost, e.camps, e.noc, &cfg)
 	home := topology.UnitID(42)
 	w := make([]float64, e.topo.Units())
 	w[home] = 1e7
@@ -150,7 +164,7 @@ func TestHybridZeroWeightIgnoresLoad(t *testing.T) {
 
 func TestDeltaPreventsHerding(t *testing.T) {
 	e := newEnv()
-	s := e.scheduler(KindHybrid, false)
+	s := e.scheduler("hybrid", false)
 	// One idle unit among loaded ones: after enough forwarded tasks, the
 	// origin's delta should steer placements elsewhere.
 	w := make([]float64, e.topo.Units())
@@ -177,7 +191,7 @@ func TestDeltaPreventsHerding(t *testing.T) {
 
 func TestExchangeResetsDeltas(t *testing.T) {
 	e := newEnv()
-	s := e.scheduler(KindHybrid, false)
+	s := e.scheduler("hybrid", false)
 	w := make([]float64, e.topo.Units())
 	for i := range w {
 		w[i] = 1000
@@ -206,7 +220,7 @@ func TestExchangeResetsDeltas(t *testing.T) {
 
 func TestCampAwarePlacementCanBeatHomeDistance(t *testing.T) {
 	e := newEnv()
-	aware := e.scheduler(KindLowestDistance, true)
+	aware := e.scheduler("lowestdist", true)
 	cost := core.NewCostModel(e.noc, e.camps, true)
 	costHome := core.NewCostModel(e.noc, e.camps, false)
 	// Two lines homed on distant units: camp-aware placement should find
@@ -259,7 +273,7 @@ func TestScoreHookObservesWithoutPerturbing(t *testing.T) {
 	for i := range w {
 		w[i] = float64((i * 13) % 997)
 	}
-	plain, hooked := e.scheduler(KindHybrid, true), e.scheduler(KindHybrid, true)
+	plain, hooked := e.scheduler("hybrid", true), e.scheduler("hybrid", true)
 	plain.Exchange(w)
 	hooked.Exchange(w)
 	cost := core.NewCostModel(e.noc, e.camps, true)
@@ -304,7 +318,7 @@ func TestScoreHookObservesWithoutPerturbing(t *testing.T) {
 	}
 
 	// Home and lowest-distance policies report through the same hook.
-	for _, kind := range []Kind{KindHome, KindLowestDistance} {
+	for _, kind := range []string{"home", "lowestdist"} {
 		s := e.scheduler(kind, false)
 		calls := 0
 		s.SetScoreHook(func(_, _ topology.UnitID, _, load float64) {
@@ -326,7 +340,7 @@ func TestScoreHookObservesWithoutPerturbing(t *testing.T) {
 // must now return the explicit -1 verdict instead of panicking.
 func TestPlaceAllUnitsDeadReturnsVerdict(t *testing.T) {
 	e := newEnv()
-	for _, kind := range []Kind{KindHome, KindLowestDistance, KindHybrid} {
+	for _, kind := range []string{"home", "lowestdist", "hybrid", "loadonly"} {
 		s := e.scheduler(kind, false)
 		s.SetAudit(check.New(), nil)
 		dead := make([]bool, e.topo.Units())
@@ -358,35 +372,119 @@ func TestPlaceAllUnitsDeadReturnsVerdict(t *testing.T) {
 
 // A unit whose effective load goes non-finite (e.g. a poisoned snapshot
 // entry) is clamped to 0 and recorded as a violation; placement still
-// succeeds and the chosen unit's score terms stay finite.
+// succeeds and the chosen unit's score terms stay finite. Regression for
+// the silent-degradation bug: before the degraded counter existed, a run
+// without an armed checker clamped the load half of the policy away with
+// no trace at all — DegradedLoads must now count every clamp whether or
+// not the checker is armed.
 func TestHybridClampsNonFiniteLoad(t *testing.T) {
+	for _, policy := range []string{"hybrid", "loadonly"} {
+		for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+			e := newEnv()
+			s := e.scheduler(policy, false)
+			s.SetAudit(check.New(), nil)
+			w := make([]float64, e.topo.Units())
+			for i := range w {
+				w[i] = 100
+			}
+			s.Exchange(w)
+			s.snapW[7] = bad // corrupt after Exchange so only Place sees it
+			tsk := &task.Task{Hint: task.Hint{Lines: []mem.Line{e.lineOn(42)}}}
+			got := s.Place(tsk, 0)
+			if got < 0 {
+				t.Fatalf("%s, load %v: placement refused", policy, bad)
+			}
+			found := false
+			for _, v := range s.audit.Violations() {
+				if v.Rule == "sched.load" {
+					found = true
+				}
+				if v.Rule == "sched.memcost" || v.Rule == "sched.loadterm" {
+					t.Fatalf("%s, load %v: clamp leaked into the decision: %v", policy, bad, v)
+				}
+			}
+			if !found {
+				t.Fatalf("%s, load %v: no sched.load violation recorded", policy, bad)
+			}
+			if n := s.DegradedLoads(); n != 1 {
+				t.Fatalf("%s, load %v: DegradedLoads = %d, want 1", policy, bad, n)
+			}
+		}
+	}
+}
+
+// The degraded counter does not depend on the checker: an unarmed
+// scheduler counts the same clamps an armed one reports.
+func TestDegradedLoadsCountsWithoutAudit(t *testing.T) {
 	e := newEnv()
-	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
-		s := e.scheduler(KindHybrid, false)
-		s.SetAudit(check.New(), nil)
-		w := make([]float64, e.topo.Units())
-		for i := range w {
-			w[i] = 100
+	s := e.scheduler("hybrid", false)
+	w := make([]float64, e.topo.Units())
+	for i := range w {
+		w[i] = 100
+	}
+	s.Exchange(w)
+	s.snapW[7] = math.NaN()
+	tsk := &task.Task{Hint: task.Hint{Lines: []mem.Line{e.lineOn(42)}}}
+	for i := 0; i < 3; i++ {
+		if got := s.Place(tsk, 0); got < 0 {
+			t.Fatalf("placement %d refused", i)
 		}
-		s.Exchange(w)
-		s.snapW[7] = bad // corrupt after Exchange so only Place sees it
-		tsk := &task.Task{Hint: task.Hint{Lines: []mem.Line{e.lineOn(42)}}}
-		got := s.Place(tsk, 0)
-		if got < 0 {
-			t.Fatalf("load %v: placement refused", bad)
-		}
-		found := false
-		for _, v := range s.audit.Violations() {
-			if v.Rule == "sched.load" {
-				found = true
-			}
-			if v.Rule == "sched.memcost" || v.Rule == "sched.loadterm" {
-				t.Fatalf("load %v: clamp leaked into the decision: %v", bad, v)
-			}
-		}
-		if !found {
-			t.Fatalf("load %v: no sched.load violation recorded", bad)
-		}
+	}
+	if n := s.DegradedLoads(); n != 3 {
+		t.Fatalf("DegradedLoads = %d, want 3 (one per Place)", n)
+	}
+}
+
+// loadonly ignores data distance entirely: with one idle unit in a loaded
+// machine it must choose the idle unit no matter where the data lives, and
+// under uniform load it falls back to the main element's home tie-break.
+func TestLoadOnlyPolicy(t *testing.T) {
+	e := newEnv()
+	s := e.scheduler("loadonly", false)
+	if got := s.Param("floor"); got != 32 {
+		t.Fatalf("default floor param = %v, want 32", got)
+	}
+	w := make([]float64, e.topo.Units())
+	for i := range w {
+		w[i] = 1000
+	}
+	idle := topology.UnitID(100)
+	w[idle] = 0
+	s.Exchange(w)
+	// Data on the far corner: lowestdist would never pick the idle unit.
+	tsk := &task.Task{Hint: task.Hint{Lines: []mem.Line{e.lineOn(0)}}}
+	if got := s.Place(tsk, 0); got != idle {
+		t.Fatalf("loadonly placed on %d, want idle unit %d", got, idle)
+	}
+	// Uniform load: every load term ties, so the home tie-break decides.
+	for i := range w {
+		w[i] = 1000
+	}
+	s.Exchange(w)
+	home := topology.UnitID(77)
+	tsk = &task.Task{Hint: task.Hint{Lines: []mem.Line{e.lineOn(home)}}}
+	if got := s.Place(tsk, 3); got != home {
+		t.Fatalf("uniform-load loadonly placed on %d, want home %d", got, home)
+	}
+}
+
+// A cfg.PolicyParams override reaches the scheduler only when the config
+// actually selects that policy by name.
+func TestPolicyParamOverride(t *testing.T) {
+	e := newEnv()
+	cfg := e.cfg
+	cfg.SchedPolicy = "loadonly"
+	cfg.PolicyParams = map[string]float64{"floor": 128}
+	cost := core.NewCostModel(e.noc, e.camps, false)
+	s := New("loadonly", cost, e.camps, e.noc, &cfg)
+	if got := s.Param("floor"); got != 128 {
+		t.Fatalf("overridden floor = %v, want 128", got)
+	}
+	// Same override without SchedPolicy selecting loadonly: default wins.
+	cfg.SchedPolicy = ""
+	s = New("loadonly", cost, e.camps, e.noc, &cfg)
+	if got := s.Param("floor"); got != 32 {
+		t.Fatalf("floor without matching SchedPolicy = %v, want default 32", got)
 	}
 }
 
@@ -503,7 +601,7 @@ func mirrorUnit(e *env, thief, u topology.UnitID) topology.UnitID {
 
 func TestPlaceIsDeterministic(t *testing.T) {
 	e := newEnv()
-	mk := func() *Scheduler { return e.scheduler(KindHybrid, true) }
+	mk := func() *Scheduler { return e.scheduler("hybrid", true) }
 	w := make([]float64, e.topo.Units())
 	for i := range w {
 		w[i] = float64(i % 7)

@@ -20,12 +20,12 @@ import (
 func TestCostVecSourcePlacementIdentical(t *testing.T) {
 	for _, tc := range []struct {
 		name      string
-		kind      Kind
+		kind      string
 		campAware bool
 	}{
-		{"hybrid-campaware", KindHybrid, true},
-		{"hybrid-homes", KindHybrid, false},
-		{"lowest-distance", KindLowestDistance, false},
+		{"hybrid-campaware", "hybrid", true},
+		{"hybrid-homes", "hybrid", false},
+		{"lowest-distance", "lowestdist", false},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			e := newEnv()
@@ -82,7 +82,7 @@ func TestCostVecSourcePlacementIdentical(t *testing.T) {
 // stale vector could credit a dead camp.
 func TestCostVecSourceIgnoredUnderDeadMask(t *testing.T) {
 	e := newEnv()
-	s := e.scheduler(KindHybrid, true)
+	s := e.scheduler("hybrid", true)
 	called := false
 	s.SetCostVecSource(func(tk *task.Task) []float64 {
 		called = true

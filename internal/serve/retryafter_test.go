@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Regression pin for the zero-completed-runs path: before any run finishes
+// the mean service time is 0 and the hint must be the 1-second fallback —
+// an HTTP Retry-After of 0 tells clients to retry in a tight loop. The same
+// fallback covers a poisoned (non-finite) mean, which previously flowed
+// into int(math.Ceil(NaN)) — an undefined conversion in Go.
+func TestRetryAfterZeroCompletedRuns(t *testing.T) {
+	for _, mean := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		for _, backlog := range []int{0, 1, 1000} {
+			if got := retryAfterFrom(mean, backlog, 4); got != 1 {
+				t.Errorf("retryAfterFrom(%v, %d, 4) = %d, want fallback 1", mean, backlog, got)
+			}
+		}
+	}
+}
+
+// Property: for any mean, backlog, and worker count, the hint is an integer
+// in [1, 60] — never 0, never negative, never beyond the 60s cap.
+func TestRetryAfterAlwaysClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 2000; i++ {
+		mean := math.Exp(rng.Float64()*20 - 10) // ~45µs .. ~22000s
+		if rng.Intn(10) == 0 {
+			mean = -mean
+		}
+		backlog := rng.Intn(10000)
+		workers := rng.Intn(64) // includes the degenerate 0
+		got := retryAfterFrom(mean, backlog, workers)
+		if got < 1 || got > 60 {
+			t.Fatalf("retryAfterFrom(%v, %d, %d) = %d outside [1, 60]", mean, backlog, workers, got)
+		}
+	}
+}
+
+// The computation scales the way the doc comment promises: backlog and
+// mean run time push the hint up, workers pull it down, saturating at 60.
+func TestRetryAfterScaling(t *testing.T) {
+	if got := retryAfterFrom(2, 3, 1); got != 6 {
+		t.Errorf("2s mean, 3 jobs, 1 worker = %d, want 6", got)
+	}
+	if got := retryAfterFrom(2, 3, 3); got != 2 {
+		t.Errorf("2s mean, 3 jobs, 3 workers = %d, want 2", got)
+	}
+	if got := retryAfterFrom(0.001, 1, 8); got != 1 {
+		t.Errorf("sub-second clears still hint 1, got %d", got)
+	}
+	if got := retryAfterFrom(3600, 100, 1); got != 60 {
+		t.Errorf("pathological backlog = %d, want clamp 60", got)
+	}
+}

@@ -526,13 +526,22 @@ func meanRunSeconds() float64 {
 }
 
 func (s *Server) retryAfterSecs() int {
-	meanRunSecs := meanRunSeconds()
-	if meanRunSecs <= 0 {
+	return retryAfterFrom(meanRunSeconds(), len(s.queue)+1, s.runner.Workers())
+}
+
+// retryAfterFrom is the pure Retry-After computation: backlog jobs draining
+// through workers at meanRunSecs each. Zero (no completed run yet) and
+// non-finite mean observations fall back to 1s; the result is always in
+// [1, 60] — an HTTP Retry-After of 0 would tell clients to hammer the
+// server in a tight loop, and one of hours would make them give up.
+func retryAfterFrom(meanRunSecs float64, backlog, workers int) int {
+	if meanRunSecs <= 0 || math.IsNaN(meanRunSecs) || math.IsInf(meanRunSecs, 0) {
 		return 1
 	}
-	backlog := float64(len(s.queue) + 1)
-	workers := float64(s.runner.Workers())
-	secs := int(math.Ceil(meanRunSecs * backlog / workers))
+	if workers < 1 {
+		workers = 1
+	}
+	secs := int(math.Ceil(meanRunSecs * float64(backlog) / float64(workers)))
 	if secs < 1 {
 		secs = 1
 	}
