@@ -135,8 +135,16 @@ func (b Backoff) Delay(attempt int, hint time.Duration) time.Duration {
 
 // Sleep blocks for Delay(attempt, hint) or until ctx is done, returning
 // ctx's error in that case — a canceled caller never waits out a backoff.
+// A delay that cannot finish before ctx's deadline fails fast with
+// context.DeadlineExceeded instead of sleeping the deadline out: a
+// server-side Retry-After of 30s against a caller with 2s of budget left
+// would otherwise burn the entire budget doing provably useless waiting.
 func (b Backoff) Sleep(ctx context.Context, attempt int, hint time.Duration) error {
-	t := time.NewTimer(b.Delay(attempt, hint))
+	d := b.Delay(attempt, hint)
+	if dl, ok := ctx.Deadline(); ok && d > time.Until(dl) {
+		return context.DeadlineExceeded
+	}
+	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-t.C:

@@ -207,3 +207,62 @@ func TestErrQueueFull(t *testing.T) {
 		t.Fatalf("Retry-After not parsed: %+v", ae)
 	}
 }
+
+// TestSubmitWaitDeadlineClamp is the regression test for the backoff
+// deadline clamp: when the server's Retry-After floor exceeds the
+// caller's remaining deadline budget, SubmitWait must fail fast with
+// DeadlineExceeded instead of sleeping the whole budget out doing
+// provably useless waiting. Before the clamp, this test burned the full
+// 2s deadline; with it, the call returns in milliseconds.
+func TestSubmitWaitDeadlineClamp(t *testing.T) {
+	var calls int32
+	h := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":"job queue full (1 pending); retry later"}`))
+	}))
+	defer h.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	start := time.Now()
+	_, err := New(h.URL).SubmitWait(ctx, RunRequest{App: "pr", Design: "O"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// Generous bound for slow CI, but far under the 2s the un-clamped
+	// sleep would have consumed.
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("SubmitWait took %v against a 30s Retry-After with 2s of budget; the clamp should fail fast", elapsed)
+	}
+	if atomic.LoadInt32(&calls) != 1 {
+		t.Fatalf("submissions = %d, want exactly 1 before the clamp fires", atomic.LoadInt32(&calls))
+	}
+}
+
+// TestBackoffSleepClamp pins the clamp at the Backoff level: a delay
+// that fits the deadline sleeps normally; one that cannot finish in
+// time returns immediately.
+func TestBackoffSleepClamp(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Jitter: -1}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := b.Sleep(ctx, 0, 0); err != nil {
+		t.Fatalf("in-budget sleep errored: %v", err)
+	}
+	start := time.Now()
+	if err := b.Sleep(ctx, 0, time.Hour); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("over-budget sleep err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("over-budget sleep blocked %v, want immediate return", elapsed)
+	}
+	// No deadline at all: the hint floor still applies and Sleep obeys a
+	// plain cancel.
+	cctx, ccancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(20 * time.Millisecond); ccancel() }()
+	if err := b.Sleep(cctx, 0, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled no-deadline sleep err = %v, want Canceled", err)
+	}
+}

@@ -7,11 +7,21 @@
 // jittered backoff, and re-dispatched results are cross-checked against
 // the dead owner's result_hash.
 //
+// Completed results are additionally memoized in a fleet-wide shared
+// result store: after a failover (or a resubmission whose terminal job
+// aged out), the proxy answers from the store — hash-verified — and
+// replicates the memo to a live backend via POST /v1/runs/{id}/adopt
+// instead of recomputing. When a probe observes a backend draining, the
+// proxy proactively migrates that backend's still-queued jobs to the
+// rest of the fleet.
+//
 // Usage:
 //
 //	abndpproxy -backends http://127.0.0.1:8081,http://127.0.0.1:8082
 //	abndpproxy -addr :8080 -backends ... -attempts 4
 //	abndpproxy -hedge 2s                  # hedge long ?wait polls
+//	abndpproxy -store-size 4096           # shared result store capacity
+//	abndpproxy -migrate=false             # disable drain-time migration
 //	abndpproxy -log text                  # human-readable logs
 //
 // Quick start (docs/SERVING.md, "Serving fleets"):
@@ -50,6 +60,9 @@ func main() {
 		failThr  = flag.Int("failthreshold", 3, "consecutive failures that open a backend's circuit breaker")
 		halfOpen = flag.Duration("halfopen", 3*time.Second, "open-breaker cool-down before the half-open recovery trial")
 		hedge    = flag.Duration("hedge", 0, "race a long ?wait poll against a second completed-result holder after this delay (0 disables)")
+		storeSz  = flag.Int("store-size", 1024, "shared result store capacity in completed results (0 disables)")
+		jobCap   = flag.Int("job-cap", 1024, "terminal fleet jobs retained before LRU eviction (0 disables the cap)")
+		migrate  = flag.Bool("migrate", true, "re-dispatch a draining backend's queued jobs to the rest of the fleet")
 		logFmt   = flag.String("log", "json", "structured log format on stderr: json or text")
 		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
@@ -69,15 +82,27 @@ func main() {
 		fatal(fmt.Errorf("at least one -backends URL is required"))
 	}
 
+	// Flag 0 means "off"; fleet.Config treats 0 as "default", so map it
+	// to the explicit disable value.
+	storeSize, jobs := *storeSz, *jobCap
+	if storeSize <= 0 {
+		storeSize = -1
+	}
+	if jobs <= 0 {
+		jobs = -1
+	}
 	coord, err := fleet.New(fleet.Config{
-		Backends:       urls,
-		ProbeInterval:  *probeIv,
-		FailThreshold:  *failThr,
-		HalfOpenAfter:  *halfOpen,
-		MaxAttempts:    *attempts,
-		AttemptTimeout: *attemptT,
-		HedgeDelay:     *hedge,
-		Logger:         logger,
+		Backends:         urls,
+		ProbeInterval:    *probeIv,
+		FailThreshold:    *failThr,
+		HalfOpenAfter:    *halfOpen,
+		MaxAttempts:      *attempts,
+		AttemptTimeout:   *attemptT,
+		HedgeDelay:       *hedge,
+		StoreSize:        storeSize,
+		JobCap:           jobs,
+		DisableMigration: !*migrate,
+		Logger:           logger,
 	})
 	if err != nil {
 		fatal(err)
@@ -90,7 +115,8 @@ func main() {
 	}
 	httpSrv := &http.Server{Handler: coord.Handler()}
 	logger.Info("proxying", "addr", ln.Addr().String(), "backends", urls,
-		"attempts", *attempts, "hedge", hedge.String())
+		"attempts", *attempts, "hedge", hedge.String(),
+		"store_size", storeSize, "job_cap", jobs, "migrate", *migrate)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()

@@ -147,3 +147,105 @@ func TestFleetFailover(t *testing.T) {
 		t.Fatalf("post-recovery job did not finish: %+v", fin2)
 	}
 }
+
+// TestFleetMigrationDrain is the proactive-migration end-to-end test:
+// two real backends (one worker each), a job held running on the owner
+// and a second job queued behind it. The owner starts draining mid-queue;
+// the proxy's probe observes the transition and re-dispatches the queued
+// job to the survivor, where it completes with a result hash
+// byte-identical to a direct in-process run — the drain finishes its
+// running work locally, but nothing sits in a dying queue.
+func TestFleetMigrationDrain(t *testing.T) {
+	base := config.Default()
+	base.UnitBytes = 16 << 20
+
+	gate := make(chan struct{})
+	var release sync.Once
+	hook := func(app, design string) { <-gate }
+	b1 := startBackend(t, "b1", "127.0.0.1:0", &base, hook)
+	b2 := startBackend(t, "b2", "127.0.0.1:0", &base, hook)
+	t.Cleanup(func() { release.Do(func() { close(gate) }) })
+
+	cfg := fastCfg(b1.url, b2.url)
+	// Affinity must win outright: the test needs a job to *queue* behind
+	// the held worker, not reroute to the idle backend.
+	cfg.BalanceRatio = 1e6
+	cfg.BalanceSlack = 1e6
+	migrationsBefore := fleetMigrations.Value()
+	c, ts := newTestCoord(t, cfg)
+
+	// Occupy one worker, then keep submitting distinct specs until one
+	// queues behind it on the same backend.
+	first, resp := proxyPost(t, ts, `{"app":"pr","design":"O","params":{"scale":8,"degree":6,"seed":100}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d (%s)", resp.StatusCode, first.Error)
+	}
+	waitFor(t, "first job to start running", func() bool {
+		cur, _ := proxyGet(t, ts, first.ID, "")
+		return cur.Status == serve.StateRunning
+	})
+	ownerID := first.Backend
+	owner := b1
+	if ownerID == "b2" {
+		owner = b2
+	}
+
+	var queued *serve.RunStatus
+	var queuedSeed int
+	for seed := 101; seed <= 140 && queued == nil; seed++ {
+		spec := fmt.Sprintf(`{"app":"pr","design":"O","params":{"scale":8,"degree":6,"seed":%d}}`, seed)
+		st, resp := proxyPost(t, ts, spec)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit seed %d: status %d (%s)", seed, resp.StatusCode, st.Error)
+		}
+		if st.Backend == ownerID && st.Status == serve.StateQueued {
+			queued, queuedSeed = st, seed
+		}
+	}
+	if queued == nil {
+		t.Fatalf("no submission queued on owner %s in 40 tries", ownerID)
+	}
+
+	// Drain the owner mid-queue in the background (it blocks on the held
+	// running job until the gate opens). The probe loop must observe the
+	// draining transition and migrate the queued job off.
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		drained <- owner.s.Drain(ctx)
+	}()
+	waitFor(t, "proxy to migrate the queued job", func() bool {
+		return c.migrationsN.Load() >= 1
+	})
+
+	release.Do(func() { close(gate) })
+
+	final, code := proxyGet(t, ts, queued.ID, "?wait=120s")
+	if code.StatusCode != http.StatusOK || final.Status != serve.StateDone {
+		t.Fatalf("migrated job: status %d %+v, want done", code.StatusCode, final)
+	}
+	survivorID := "b1"
+	if ownerID == "b1" {
+		survivorID = "b2"
+	}
+	if final.Backend != survivorID {
+		t.Fatalf("migrated job attributed to %q, want survivor %q: %+v", final.Backend, survivorID, final)
+	}
+
+	// Byte-identical to the abndpsim code path for the same spec.
+	direct, err := abndp.Run("pr", abndp.DesignO, base, abndp.Params{Scale: 8, Degree: 6, Seed: int64(queuedSeed)})
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	if want := fmt.Sprintf("%016x", ndp.ResultHash(direct)); final.ResultHash != want {
+		t.Fatalf("migrated hash %s != direct hash %s", final.ResultHash, want)
+	}
+
+	if got := fleetMigrations.Value() - migrationsBefore; got < 1 {
+		t.Fatalf("fleet_migrations_total delta = %d, want >= 1", got)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("owner drain: %v", err)
+	}
+}

@@ -34,6 +34,7 @@
 package fleet
 
 import (
+	"container/list"
 	"context"
 	"io"
 	"log/slog"
@@ -89,6 +90,25 @@ type Config struct {
 	// has been silent this long. Zero disables hedging.
 	HedgeDelay time.Duration
 
+	// StoreSize bounds the shared result store — completed results kept
+	// proxy-side by route key so a warm result anywhere in the fleet
+	// serves failovers and re-submissions with zero recomputation.
+	// 0 means the default 1024; negative disables the store.
+	StoreSize int
+
+	// JobCap bounds the terminal fleet jobs (and their holder records)
+	// the proxy retains for polling; beyond it the least recently touched
+	// terminal job is evicted (its result stays reachable through the
+	// result store by route key). In-flight jobs are never evicted.
+	// 0 means the default 1024; negative disables eviction.
+	JobCap int
+
+	// DisableMigration turns off proactive job migration: by default,
+	// when a probe observes a backend entering "draining", the proxy
+	// re-dispatches that backend's queued (not-yet-running) jobs to the
+	// ring's next-best backend instead of waiting for the process to die.
+	DisableMigration bool
+
 	// Logger receives routing and failover logs; nil discards them.
 	Logger *slog.Logger
 }
@@ -118,6 +138,12 @@ func (c *Config) fillDefaults() {
 	if c.BalanceSlack <= 0 {
 		c.BalanceSlack = 1
 	}
+	if c.StoreSize == 0 {
+		c.StoreSize = 1024
+	}
+	if c.JobCap == 0 {
+		c.JobCap = 1024
+	}
 }
 
 // Fleet-wide counters on /debug/vars and the proxy's /metrics.
@@ -135,6 +161,11 @@ var (
 	fleetBreakerOpens   = obs.Published("fleet_breaker_opens_total")
 	fleetProbes         = obs.Published("fleet_probes_total")
 	fleetProbeFailures  = obs.Published("fleet_probe_failures_total")
+	fleetStoreHits      = obs.Published("fleet_store_hits_total")
+	fleetStoreEvictions = obs.Published("fleet_store_evictions_total")
+	fleetMigrations     = obs.Published("fleet_migrations_total")
+	fleetAdoptions      = obs.Published("fleet_adoptions_total")
+	fleetJobEvictions   = obs.Published("fleet_job_evictions_total")
 )
 
 // Coordinator fronts the backend fleet. Create with New, mount Handler,
@@ -150,14 +181,20 @@ type Coordinator struct {
 
 	coordCounters // per-coordinator /healthz counters
 
-	mu      sync.Mutex
-	jobs    map[string]*pjob // by fleet job ID
-	byKey   map[string]*pjob // fleet-wide dedup: route key -> job
-	holders map[string]map[*Backend]holder
-	nextID  int64
+	store *resultStore // fleet-wide shared result store (nil-safe when disabled)
 
+	mu       sync.Mutex
+	jobs     map[string]*pjob // by fleet job ID
+	byKey    map[string]*pjob // fleet-wide dedup: route key -> job
+	holders  map[string]map[*Backend]holder
+	termLRU  *list.List              // terminal jobs, front = most recently touched
+	termElem map[*pjob]*list.Element // terminal job -> its LRU element
+	nextID   int64
+
+	closeCtx  context.Context // canceled by Close; bounds background migrations
 	probeStop context.CancelFunc
 	probeWG   sync.WaitGroup
+	bgWG      sync.WaitGroup // background migration sweeps
 	closeOnce sync.Once
 }
 
@@ -179,13 +216,16 @@ func New(cfg Config) (*Coordinator, error) {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	c := &Coordinator{
-		cfg:     cfg,
-		hc:      &http.Client{},
-		probeHC: &http.Client{Timeout: cfg.ProbeTimeout},
-		log:     logger,
-		jobs:    make(map[string]*pjob),
-		byKey:   make(map[string]*pjob),
-		holders: make(map[string]map[*Backend]holder),
+		cfg:      cfg,
+		hc:       &http.Client{},
+		probeHC:  &http.Client{Timeout: cfg.ProbeTimeout},
+		log:      logger,
+		jobs:     make(map[string]*pjob),
+		byKey:    make(map[string]*pjob),
+		holders:  make(map[string]map[*Backend]holder),
+		termLRU:  list.New(),
+		termElem: make(map[*pjob]*list.Element),
+		store:    newResultStore(cfg.StoreSize),
 	}
 	urls := make([]string, 0, len(cfg.Backends))
 	for _, raw := range cfg.Backends {
@@ -197,10 +237,11 @@ func New(cfg Config) (*Coordinator, error) {
 		urls = append(urls, b.URL)
 	}
 	c.ring = newRing(urls, cfg.Replicas)
-	c.probeAll() // synchronous first round: route on real health from request one
 
 	ctx, stop := context.WithCancel(context.Background())
+	c.closeCtx = ctx
 	c.probeStop = stop
+	c.probeAll() // synchronous first round: route on real health from request one
 	c.probeWG.Add(1)
 	go c.probeLoop(ctx)
 
@@ -220,11 +261,17 @@ func (c *Coordinator) Handler() http.Handler { return c.mux }
 // Backends exposes the fleet's backend states (tests, health).
 func (c *Coordinator) Backends() []*Backend { return c.backends }
 
-// Close stops the background prober.
+// Close tears the coordinator down: it stops the background prober,
+// cancels and waits out in-flight migration sweeps, and closes the HTTP
+// clients' idle connections so their transport goroutines exit. A closed
+// coordinator leaks no goroutines (pinned by TestCloseStopsGoroutines).
 func (c *Coordinator) Close() {
 	c.closeOnce.Do(func() {
 		c.probeStop()
 		c.probeWG.Wait()
+		c.bgWG.Wait()
+		c.hc.CloseIdleConnections()
+		c.probeHC.CloseIdleConnections()
 	})
 }
 
@@ -259,6 +306,17 @@ func (c *Coordinator) probeAll() {
 				c.log.Info("backend state change", "backend", after.ID, "url", b.URL,
 					"state", after.State, "ready", after.Ready, "draining", after.Draining,
 					"err", errStr(err))
+			}
+			// Drain transition: migrate the backend's queued jobs off it
+			// proactively instead of waiting for the process to die. The
+			// sweep runs in the background (dispatch can back off and
+			// retry); Close waits it out.
+			if !c.cfg.DisableMigration && after.Draining && !before.Draining {
+				c.bgWG.Add(1)
+				go func() {
+					defer c.bgWG.Done()
+					c.migrateFrom(c.closeCtx, b)
+				}()
 			}
 		}(b)
 	}

@@ -22,8 +22,10 @@ type stubBackend struct {
 	id       string
 	ready    atomic.Bool
 	submits  atomic.Int32
+	adopts   atomic.Int32
 	submitFn func(n int32, w http.ResponseWriter, r *http.Request)
 	getFn    func(w http.ResponseWriter, r *http.Request)
+	adoptFn  func(w http.ResponseWriter, r *http.Request) // nil: default 201 echo
 	srv      *httptest.Server
 }
 
@@ -47,6 +49,23 @@ func newStub(t *testing.T, id string) *stubBackend {
 	})
 	mux.HandleFunc("GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		s.getFn(w, r)
+	})
+	mux.HandleFunc("POST /v1/runs/{id}/adopt", func(w http.ResponseWriter, r *http.Request) {
+		s.adopts.Add(1)
+		if s.adoptFn != nil {
+			s.adoptFn(w, r)
+			return
+		}
+		var req serve.AdoptRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		_ = json.NewEncoder(w).Encode(serve.RunStatus{
+			ID: "run-" + s.id + "-adopted", Status: serve.StateDone,
+			ResultHash: req.ResultHash, Backend: s.id, Adopted: true, Result: req.Result,
+		})
 	})
 	s.srv = httptest.NewServer(mux)
 	t.Cleanup(s.srv.Close)
@@ -280,7 +299,9 @@ func TestFailoverHashMismatch(t *testing.T) {
 	}
 
 	before := fleetHashMismatches.Value()
-	c, ts := newTestCoord(t, fastCfg(b1.srv.URL, b2.srv.URL))
+	cfg := fastCfg(b1.srv.URL, b2.srv.URL)
+	cfg.StoreSize = -1 // force the poll path: the store would serve 1111 before b2 is ever asked
+	c, ts := newTestCoord(t, cfg)
 	st, resp := proxyPost(t, ts, `{"app":"pr","design":"O"}`)
 	if resp.StatusCode != http.StatusAccepted || st.Backend != "b1" {
 		t.Fatalf("submit: status %d backend %q, want 202 on b1 (%s)", resp.StatusCode, st.Backend, st.Error)

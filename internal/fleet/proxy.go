@@ -65,6 +65,18 @@ func (j *pjob) dropOwner(dead *Backend) bool {
 	return true
 }
 
+func (j *pjob) recordHash(hash string) {
+	j.lock()
+	defer j.unlock()
+	j.lastHash = hash
+}
+
+func (j *pjob) hashSnapshot() string {
+	j.lock()
+	defer j.unlock()
+	return j.lastHash
+}
+
 func (j *pjob) snapshotFailovers() int {
 	j.lock()
 	defer j.unlock()
@@ -248,12 +260,17 @@ func isTerminal(status string) bool {
 }
 
 // await returns j's status, long-polling up to wait. The loop re-dispatches
-// around dead owners; every terminal "done" passes the hash cross-check.
+// around dead owners — serving straight from the shared result store when
+// it already holds the key's completed result — and every terminal "done"
+// passes the hash cross-check.
 func (c *Coordinator) await(ctx context.Context, j *pjob, wait time.Duration) (*serve.RunStatus, error) {
 	deadline := time.Now().Add(wait)
 	for {
 		owner, runID := j.ownerInfo()
 		if owner == nil {
+			if st, err := c.serveFromStore(ctx, j, nil); err != nil || st != nil {
+				return st, err
+			}
 			b, st, err := c.dispatch(ctx, j, nil)
 			if err != nil {
 				return nil, err
@@ -269,8 +286,12 @@ func (c *Coordinator) await(ctx context.Context, j *pjob, wait time.Duration) (*
 		}
 		st, err := c.pollOwner(ctx, j, owner, runID, remaining)
 		if err != nil {
-			if ferr := c.failover(ctx, j, owner, err); ferr != nil {
+			fst, ferr := c.failover(ctx, j, owner, err)
+			if ferr != nil {
 				return nil, ferr
+			}
+			if fst != nil {
+				return fst, nil // answered from the result store
 			}
 			continue
 		}
@@ -323,23 +344,119 @@ func (c *Coordinator) pollOwner(ctx context.Context, j *pjob, owner *Backend, ru
 }
 
 // failover handles a dead or amnesiac owner: feed the breaker (unless the
-// backend merely lost the run), clear ownership, re-dispatch elsewhere.
-func (c *Coordinator) failover(ctx context.Context, j *pjob, owner *Backend, cause error) error {
+// backend merely lost the run), clear ownership, then answer from the
+// shared result store when it already holds the key's completed result —
+// zero recomputation — or re-dispatch elsewhere. A non-nil status means
+// the store answered and the caller is done.
+func (c *Coordinator) failover(ctx context.Context, j *pjob, owner *Backend, cause error) (*serve.RunStatus, error) {
 	if !errors.Is(cause, errLostRun) {
 		owner.Fail(cause.Error())
 	}
 	if !j.dropOwner(owner) {
-		return nil // a concurrent poll already failed over; reuse its work
+		return nil, nil // a concurrent poll already failed over; reuse its work
 	}
 	fleetFailovers.Add(1)
 	c.failoversN.Add(1)
 	c.log.Warn("failover", "job", j.id, "key", j.key, "dead", owner.ID(), "cause", cause.Error())
-	_, st, err := c.dispatch(ctx, j, owner)
-	if err != nil {
-		return err
+	if st, err := c.serveFromStore(ctx, j, owner); err != nil || st != nil {
+		return st, err
 	}
-	_ = st
-	return nil
+	if _, _, err := c.dispatch(ctx, j, owner); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// serveFromStore answers j from the shared result store when it holds the
+// key's completed result: the warm memo that makes a failover or ring
+// rebalance free. The entry is hash-verified against the job's recorded
+// integrity hash and the holder records, then replicated to a live
+// backend (excluding a just-dead owner) through POST /v1/runs/{id}/adopt
+// so the new owner serves future polls itself. Returns (nil, nil) on a
+// store miss.
+func (c *Coordinator) serveFromStore(ctx context.Context, j *pjob, exclude *Backend) (*serve.RunStatus, error) {
+	st, hash, computedBy, ok := c.store.Get(j.key)
+	if !ok {
+		return nil, nil
+	}
+	recorded := j.hashSnapshot()
+	if recorded == "" {
+		recorded = c.holderHash(j.key)
+	}
+	if recorded != "" && recorded != hash {
+		fleetHashMismatches.Add(1)
+		c.mismatchN.Add(1)
+		c.log.Error("fleet integrity violation (store)", "job", j.id, "key", j.key,
+			"store_hash", hash, "recorded", recorded)
+		return nil, &proxyError{
+			code: http.StatusBadGateway,
+			msg: fmt.Sprintf("integrity violation: result store holds hash %s for job %s, but %s was recorded earlier",
+				hash, j.id, recorded),
+		}
+	}
+	fleetStoreHits.Add(1)
+	c.storeHitsN.Add(1)
+	j.recordHash(hash)
+	st.FromStore = true
+	if st.Backend == "" {
+		st.Backend = computedBy
+	}
+	// Re-warm the fleet: replicate the memo onto a live backend so it
+	// owns the key again (polls, hedges, and fleet-wide dedup all keep a
+	// live holder). Failure to adopt is not failure to answer — the
+	// store's copy is authoritative either way.
+	if b := c.pick(j.key, func(x *Backend) bool { return x == exclude }); b != nil {
+		if runID, err := c.adopt(ctx, b, j, hash, st.Result); err == nil {
+			j.setOwner(b, runID)
+			c.recordHolder(j.key, b, runID, true, hash)
+			st.Backend = b.ID()
+			fleetAdoptions.Add(1)
+			c.adoptionsN.Add(1)
+			c.log.Info("replicated stored result", "job", j.id, "key", j.key,
+				"to", b.ID(), "backend_run", runID)
+		} else {
+			c.log.Warn("adopt failed; serving from store unreplicated",
+				"job", j.id, "backend", b.ID(), "err", err.Error())
+		}
+	}
+	c.markTerminal(j)
+	c.log.Info("served from result store", "job", j.id, "key", j.key, "hash", hash)
+	return st, nil
+}
+
+// adopt replicates a completed result onto b via the backend's adopt
+// endpoint, returning the backend-local run ID of the adopted job.
+func (c *Coordinator) adopt(ctx context.Context, b *Backend, j *pjob, hash string, sum *serve.RunSummary) (string, error) {
+	var rr serve.RunRequest
+	if err := json.Unmarshal(j.body, &rr); err != nil {
+		return "", fmt.Errorf("adopt: replay body: %w", err)
+	}
+	body, err := json.Marshal(&serve.AdoptRequest{Request: rr, ResultHash: hash, Result: sum})
+	if err != nil {
+		return "", err
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.URL+"/v1/runs/"+j.id+"/adopt", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b.hist().ObserveSince(t0)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return "", fmt.Errorf("adopt: HTTP %d from %s", resp.StatusCode, b.ID())
+	}
+	var st serve.RunStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", fmt.Errorf("adopt: decode response: %w", err)
+	}
+	return st.ID, nil
 }
 
 // finish applies the fleet integrity check to a terminal status: once any
@@ -350,6 +467,7 @@ func (c *Coordinator) failover(ctx context.Context, j *pjob, owner *Backend, cau
 // hash, on any healthy backend.
 func (c *Coordinator) finish(j *pjob, b *Backend, st *serve.RunStatus) (*serve.RunStatus, error) {
 	if st.Status != serve.StateDone {
+		c.markTerminal(j) // failed: terminal too, so it ages out of the maps
 		return st, nil
 	}
 	j.lock()
@@ -370,6 +488,10 @@ func (c *Coordinator) finish(j *pjob, b *Backend, st *serve.RunStatus) (*serve.R
 	j.lastHash = st.ResultHash
 	j.unlock()
 	c.recordHolder(j.key, b, st.ID, true, st.ResultHash)
+	// Every completion the proxy observes lands in the shared result
+	// store: from here on, this key's result survives its backend.
+	c.store.Put(j.key, st, b.ID())
+	c.markTerminal(j)
 	return st, nil
 }
 
@@ -398,6 +520,124 @@ func (c *Coordinator) altHolder(key string, owner *Backend) (*Backend, string) {
 		}
 	}
 	return nil, ""
+}
+
+// holderHash returns any completed holder's recorded result hash for
+// key ("" when none) — the integrity record the store is checked
+// against.
+func (c *Coordinator) holderHash(key string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, h := range c.holders[key] {
+		if h.done && h.hash != "" {
+			return h.hash
+		}
+	}
+	return ""
+}
+
+// markTerminal registers j in the terminal-job LRU and evicts beyond
+// JobCap: a long-running proxy must not grow its jobs/byKey/holders maps
+// without bound as jobs complete. An evicted job's result stays
+// reachable — by route key — through the shared result store; only the
+// fleet job ID forgets. In-flight jobs are never evicted.
+func (c *Coordinator) markTerminal(j *pjob) {
+	if c.cfg.JobCap < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.termElem[j]; ok {
+		c.termLRU.MoveToFront(el)
+	} else {
+		c.termElem[j] = c.termLRU.PushFront(j)
+	}
+	for c.termLRU.Len() > c.cfg.JobCap {
+		el := c.termLRU.Back()
+		old := el.Value.(*pjob)
+		c.termLRU.Remove(el)
+		delete(c.termElem, old)
+		delete(c.jobs, old.id)
+		if c.byKey[old.key] == old {
+			delete(c.byKey, old.key)
+		}
+		delete(c.holders, old.key)
+		fleetJobEvictions.Add(1)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Proactive migration off draining backends.
+
+// migrateFrom re-dispatches a draining backend's queued (not-yet-running)
+// jobs to the ring's next-best backend instead of waiting for the
+// process to die: the drain finishes its *running* work locally, but
+// everything still in its queue completes faster elsewhere — and
+// survives if the drain is a prelude to a kill. Triggered by the probe
+// loop on the not-draining → draining transition. The usual result-hash
+// integrity cross-check applies when both copies complete.
+func (c *Coordinator) migrateFrom(ctx context.Context, b *Backend) {
+	queued, err := c.queuedRuns(ctx, b)
+	if err != nil {
+		c.log.Warn("migration: queued-job listing failed", "backend", b.ID(), "err", err.Error())
+		return
+	}
+	if len(queued) == 0 {
+		return
+	}
+	c.mu.Lock()
+	cands := make([]*pjob, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		cands = append(cands, j)
+	}
+	c.mu.Unlock()
+	for _, j := range cands {
+		owner, runID := j.ownerInfo()
+		if owner != b || !queued[runID] {
+			continue
+		}
+		// dispatch sets the new owner atomically on success; on failure
+		// the draining owner is kept — its drain still runs the queued
+		// job, so nothing is lost, only the head start.
+		nb, st, err := c.dispatch(ctx, j, b)
+		if err != nil {
+			c.log.Warn("migration dispatch failed; job stays on draining backend",
+				"job", j.id, "from", b.ID(), "err", err.Error())
+			continue
+		}
+		fleetMigrations.Add(1)
+		c.migrationsN.Add(1)
+		c.log.Info("migrated queued job off draining backend",
+			"job", j.id, "key", j.key, "from", b.ID(), "to", nb.ID(), "backend_run", st.ID)
+	}
+}
+
+// queuedRuns lists the backend-local run IDs still queued on b via its
+// /v1/jobs listing.
+func (c *Coordinator) queuedRuns(ctx context.Context, b *Backend) (map[string]bool, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.URL+"/v1/jobs?state="+serve.StateQueued, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("jobs listing: HTTP %d from %s", resp.StatusCode, b.ID())
+	}
+	var ls serve.JobsList
+	if err := json.NewDecoder(resp.Body).Decode(&ls); err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool, len(ls.Jobs))
+	for _, row := range ls.Jobs {
+		out[row.ID] = true
+	}
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -452,6 +692,23 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	c.byKey[key] = j
 	c.mu.Unlock()
 
+	// Cold-owner store check: the fleet already completed this key once
+	// (its terminal job has since been evicted, or its owner has died).
+	// Serve the memo and re-adopt it onto the ring owner — no backend
+	// computes anything.
+	if st, serr := c.serveFromStore(r.Context(), j, nil); serr != nil {
+		c.mu.Lock()
+		delete(c.jobs, j.id)
+		delete(c.byKey, key)
+		c.mu.Unlock()
+		c.writeError(w, serr)
+		return
+	} else if st != nil {
+		owner, _ := j.ownerInfo()
+		writeJSON(w, http.StatusOK, c.rewrite(j, owner, st))
+		return
+	}
+
 	b, st, err := c.dispatch(r.Context(), j, nil)
 	if err != nil {
 		// Unplaced jobs must not poison the key: the next submission
@@ -462,6 +719,14 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		c.mu.Unlock()
 		c.writeError(w, err)
 		return
+	}
+	// A synchronously-terminal dispatch (memo-warm backend) goes through
+	// the same integrity check and result-store feed as a polled one.
+	if isTerminal(st.Status) {
+		if st, err = c.finish(j, b, st); err != nil {
+			c.writeError(w, err)
+			return
+		}
 	}
 	writeJSON(w, http.StatusAccepted, c.rewrite(j, b, st))
 }
@@ -540,6 +805,13 @@ type FleetHealth struct {
 	Failovers      int64 `json:"failovers"`
 	HashMismatches int64 `json:"hash_mismatches"`
 	HedgedReads    int64 `json:"hedged_reads"`
+
+	// Shared result store and proactive migration counters.
+	StoreEntries   int   `json:"store_entries"`
+	StoreHits      int64 `json:"store_hits"`
+	StoreEvictions int64 `json:"store_evictions,omitempty"`
+	Migrations     int64 `json:"migrations"`
+	Adoptions      int64 `json:"adoptions"`
 }
 
 func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -551,6 +823,11 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Failovers:      c.failoversN.Load(),
 		HashMismatches: c.mismatchN.Load(),
 		HedgedReads:    c.hedged.Load(),
+		StoreEntries:   c.store.Len(),
+		StoreHits:      c.storeHitsN.Load(),
+		StoreEvictions: c.store.Evictions(),
+		Migrations:     c.migrationsN.Load(),
+		Adoptions:      c.adoptionsN.Load(),
 	}
 	for _, b := range c.backends {
 		if b.Admitted(now) {
@@ -604,4 +881,5 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // process-global and shared across Coordinators in tests).
 type coordCounters struct {
 	submittedN, dedupedN, failoversN, mismatchN, hedged atomic.Int64
+	storeHitsN, migrationsN, adoptionsN                 atomic.Int64
 }
